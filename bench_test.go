@@ -1,0 +1,86 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation (§VII) under `go test -bench`. One benchmark per
+// table/figure; each runs the corresponding experiment of internal/bench at
+// a small scale (REPRO_BENCH_SCALE overrides, default 1/10000 of the paper's
+// element counts so the full suite finishes in minutes).
+//
+// For properly scaled runs with readable tables use:
+//
+//	go run ./cmd/experiments -exp all -scale 0.001
+package repro
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale reads the scale knob (fraction of the paper's element counts).
+func benchScale() float64 {
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.0001
+}
+
+// runExperiment runs one experiment per benchmark iteration, discarding the
+// printed table (the numbers of record live in EXPERIMENTS.md; the benchmark
+// measures end-to-end experiment cost and exercises the full code path).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := bench.Config{Scale: benchScale(), Out: io.Discard, Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunByID(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10RelativeDensity regenerates Figures 1 and 10: join time for
+// the nine dataset pairs spanning density ratios 1000x..1x..1000x, for
+// TRANSFORMERS, PBSM, R-TREE and GIPSY.
+func BenchmarkFig10RelativeDensity(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Indexing regenerates Figure 11 (left): indexing time on the
+// DenseCluster ⋈ UniformCluster workload, 350M–650M scaled.
+func BenchmarkFig11Indexing(b *testing.B) { runExperiment(b, "fig11-index") }
+
+// BenchmarkFig11JoinBreakdown regenerates Figure 11 (middle): join time
+// split into modeled I/O and in-memory join.
+func BenchmarkFig11JoinBreakdown(b *testing.B) { runExperiment(b, "fig11-join") }
+
+// BenchmarkFig11IntersectionTests regenerates Figure 11 (right): number of
+// intersection tests per algorithm.
+func BenchmarkFig11IntersectionTests(b *testing.B) { runExperiment(b, "fig11-tests") }
+
+// BenchmarkFig12NeuroscienceIndexing regenerates Figure 12 (left) on the
+// axon ⋈ dendrite workload.
+func BenchmarkFig12NeuroscienceIndexing(b *testing.B) { runExperiment(b, "fig12-index") }
+
+// BenchmarkFig12NeuroscienceJoin regenerates Figure 12 (middle).
+func BenchmarkFig12NeuroscienceJoin(b *testing.B) { runExperiment(b, "fig12-join") }
+
+// BenchmarkFig12NeuroscienceTests regenerates Figure 12 (right).
+func BenchmarkFig12NeuroscienceTests(b *testing.B) { runExperiment(b, "fig12-tests") }
+
+// BenchmarkTable1Uniform regenerates Table I: execution time on uniformly
+// distributed datasets for TRANSFORMERS, PBSM and R-TREE.
+func BenchmarkTable1Uniform(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkFig13Transformations regenerates Figure 13 (left): TRANSFORMERS
+// vs the No-TR configuration on MassiveCluster data of growing skew.
+func BenchmarkFig13Transformations(b *testing.B) { runExperiment(b, "fig13-left") }
+
+// BenchmarkFig13Thresholds regenerates Figure 13 (right): OverFit vs
+// CostModelFit vs UnderFit across three distributions.
+func BenchmarkFig13Thresholds(b *testing.B) { runExperiment(b, "fig13-right") }
+
+// BenchmarkFig14Overhead regenerates Figure 14: adaptive exploration
+// overhead vs join cost on MassiveCluster.
+func BenchmarkFig14Overhead(b *testing.B) { runExperiment(b, "fig14") }

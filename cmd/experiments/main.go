@@ -1,0 +1,44 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§VII) at a configurable scale.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig10
+//	experiments -exp all -scale 0.0005
+//
+// Scale multiplies the paper's element counts (default 1/1000); absolute
+// times differ from the paper's 2016 testbed, the shapes (who wins, by what
+// factor) are what the run demonstrates. See EXPERIMENTS.md for recorded
+// results and the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	scale := flag.Float64("scale", 0.001, "fraction of the paper's element counts")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-12s %-22s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Out: os.Stdout, Seed: *seed}
+	if err := bench.RunByID(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// Command spatialjoin runs one spatial join end to end from the command
+// line: generate (or load) two datasets, index them with the chosen
+// algorithm, join, and print the cost report.
+//
+// Usage:
+//
+//	spatialjoin -algo transformers -a uniform:100000 -b massive:100000
+//	spatialjoin -algo pbsm -a dense:50000 -b uniformcluster:50000 -v
+//	spatialjoin -algo all -a axons:60000 -b dendrites:40000
+//
+// Dataset specs are distribution:count with distributions uniform, dense
+// (DenseCluster), uniformcluster, massive (MassiveCluster), axons,
+// dendrites.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/transformers"
+)
+
+func main() {
+	algo := flag.String("algo", "transformers", "algorithm: transformers, pbsm, rtree, gipsy, naive, or all")
+	specA := flag.String("a", "uniform:100000", "dataset A spec (distribution:count)")
+	specB := flag.String("b", "uniform:100000", "dataset B spec (distribution:count)")
+	seedA := flag.Int64("seed-a", 1, "dataset A seed")
+	seedB := flag.Int64("seed-b", 2, "dataset B seed")
+	verbose := flag.Bool("v", false, "print per-phase I/O detail")
+	flag.Parse()
+
+	a, err := generate(*specA, *seedA)
+	fatalIf(err)
+	b, err := generate(*specB, *seedB)
+	fatalIf(err)
+	fmt.Printf("dataset A: %s (%d elements), dataset B: %s (%d elements)\n\n",
+		*specA, len(a), *specB, len(b))
+
+	algos := []transformers.Algorithm{transformers.Algorithm(*algo)}
+	if *algo == "all" {
+		algos = transformers.Algorithms()
+	}
+	for _, alg := range algos {
+		rep, err := transformers.Run(alg,
+			append([]transformers.Element(nil), a...),
+			append([]transformers.Element(nil), b...),
+			transformers.RunOptions{})
+		fatalIf(err)
+		fmt.Printf("%-14s results=%-10d index: %-10v join: %v (in-mem %v + modeled I/O %v)\n",
+			alg, rep.Results, rep.BuildTotal.Round(1e5), rep.JoinTotal.Round(1e5),
+			rep.JoinWall.Round(1e5), rep.JoinIOTime.Round(1e5))
+		if *verbose {
+			fmt.Printf("               comparisons=%d meta=%d\n", rep.Comparisons, rep.MetaComps)
+			fmt.Printf("               build IO: %v\n", rep.BuildIO)
+			fmt.Printf("               join  IO: %v\n", rep.JoinIO)
+			if alg == transformers.AlgoTransformers {
+				ts := rep.Transformers
+				fmt.Printf("               transforms: %d role switches, %d node splits, %d unit splits; walk steps %d\n",
+					ts.RoleSwitches, ts.NodeSplits, ts.UnitSplits, ts.WalkSteps)
+			}
+		}
+	}
+}
+
+func generate(spec string, seed int64) ([]transformers.Element, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad dataset spec %q (want distribution:count)", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("bad count in spec %q", spec)
+	}
+	switch parts[0] {
+	case "uniform":
+		return transformers.GenerateUniform(n, seed), nil
+	case "dense":
+		return transformers.GenerateDenseCluster(n, seed), nil
+	case "uniformcluster":
+		return transformers.GenerateUniformCluster(n, seed), nil
+	case "massive":
+		return transformers.GenerateMassiveCluster(n, seed), nil
+	case "axons":
+		return transformers.GenerateAxons(n, seed), nil
+	case "dendrites":
+		return transformers.GenerateDendrites(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", parts[0])
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

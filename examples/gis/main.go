@@ -1,0 +1,90 @@
+// Command gis demonstrates collision detection between geographic feature
+// sets of very different densities — the GIS use case of the paper's
+// introduction (detecting collisions between houses, roads and other
+// features).
+//
+// The scenario: a dense national building footprint layer (millions of
+// small boxes concentrated in cities) is joined against a sparse layer of
+// proposed transmission-line pylons to find every building a pylon site
+// would conflict with. Density contrast between the layers is extreme in
+// cities and mild in the countryside, so a static join strategy wastes
+// effort somewhere; TRANSFORMERS adapts per area.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/transformers"
+)
+
+func main() {
+	nBuildings := flag.Int("buildings", 300_000, "building footprints (clustered into cities)")
+	nPylons := flag.Int("pylons", 2_000, "proposed pylon sites (near-uniform)")
+	flag.Parse()
+
+	// Buildings cluster into ~700 "cities"; pylons spread almost uniformly.
+	buildings := transformers.GenerateDenseCluster(*nBuildings, 7)
+	pylons := transformers.GenerateUniformCluster(*nPylons, 8)
+	// Give the features realistic extents: building footprints of a few
+	// units, and a clearance buffer around each pylon site — a pylon
+	// conflicts with every building inside its clearance zone.
+	for i := range buildings {
+		buildings[i].Box = buildings[i].Box.Expand(2)
+	}
+	const clearance = 8.0
+	for i := range pylons {
+		pylons[i].Box = pylons[i].Box.Expand(clearance)
+	}
+
+	ib, err := transformers.BuildIndex(buildings, transformers.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := transformers.BuildIndex(pylons, transformers.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream conflicts; count them per pylon to rank the worst sites.
+	conflicts := make(map[uint64]int)
+	res, err := transformers.Join(ib, ip, transformers.JoinOptions{
+		DiscardPairs: true,
+		OnPair: func(building, pylon transformers.Element) {
+			conflicts[pylon.ID]++
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d building-pylon conflicts across %d affected pylon sites\n",
+		res.Stats.Results, len(conflicts))
+	fmt.Printf("pages read: %d of %d indexed building pages — the sparse layer\n",
+		res.Stats.IO.Reads, ib.BuildReport().Units)
+	fmt.Printf("guided retrieval, so most of the dense layer was never touched\n")
+	fmt.Printf("transformations: %d role switches, %d node splits, %d unit splits\n\n",
+		res.Stats.RoleSwitches, res.Stats.NodeSplits, res.Stats.UnitSplits)
+
+	// Worst five sites.
+	type site struct {
+		id uint64
+		n  int
+	}
+	var worst []site
+	for id, n := range conflicts {
+		worst = append(worst, site{id, n})
+	}
+	for i := 0; i < len(worst); i++ {
+		for j := i + 1; j < len(worst); j++ {
+			if worst[j].n > worst[i].n || (worst[j].n == worst[i].n && worst[j].id < worst[i].id) {
+				worst[i], worst[j] = worst[j], worst[i]
+			}
+		}
+	}
+	fmt.Println("worst pylon sites by conflicting buildings:")
+	for i := 0; i < 5 && i < len(worst); i++ {
+		fmt.Printf("  pylon %-6d %d conflicts\n", worst[i].id, worst[i].n)
+	}
+}

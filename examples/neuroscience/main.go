@@ -1,0 +1,86 @@
+// Command neuroscience reproduces the paper's motivating application
+// (§II-B): detecting synapse locations in a brain-tissue model by spatially
+// joining axon cylinders with dendrite cylinders. Wherever an axon segment's
+// MBB intersects a dendrite segment's MBB, the filtering step reports a
+// synapse candidate the (application-specific) refinement step would verify.
+//
+// The two datasets have similar spatial extent but very different vertical
+// distributions — axons concentrate at the top of the volume — so the join
+// must handle areas of contrasting density and areas of similar density in
+// one run, which is exactly the regime TRANSFORMERS targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/transformers"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "total cylinder segments (60% axons, 40% dendrites, as in the paper)")
+	flag.Parse()
+
+	nAxons := *n * 60 / 100
+	nDendrites := *n - nAxons
+	fmt.Printf("growing %d axon and %d dendrite segments...\n", nAxons, nDendrites)
+	axons := transformers.GenerateAxons(nAxons, 1)
+	dendrites := transformers.GenerateDendrites(nDendrites, 2)
+
+	// Index both morphologies over the shared tissue volume.
+	world := transformers.World()
+	ia, err := transformers.BuildIndex(axons, transformers.IndexOptions{World: world})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ib, err := transformers.BuildIndex(dendrites, transformers.IndexOptions{World: world})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count synapse candidates per vertical band to see the overlap zone.
+	const bands = 10
+	bandCounts := make([]int, bands)
+	res, err := transformers.Join(ia, ib, transformers.JoinOptions{
+		DiscardPairs: true,
+		OnPair: func(axon, dendrite transformers.Element) {
+			z := axon.Box.Center()[2]
+			band := int(z / world.Side(2) * bands)
+			if band >= bands {
+				band = bands - 1
+			}
+			if band < 0 {
+				band = 0
+			}
+			bandCounts[band]++
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d synapse candidates (axon-dendrite intersections)\n", res.Stats.Results)
+	fmt.Printf("join ran with %d role switches, %d node splits, %d unit splits\n",
+		res.Stats.RoleSwitches, res.Stats.NodeSplits, res.Stats.UnitSplits)
+	fmt.Printf("in-memory %v + modeled I/O %v = %v total\n\n",
+		res.Stats.Wall, res.ModeledIOTime, res.TotalTime)
+
+	fmt.Println("synapse candidates by depth (z bands, bottom to top):")
+	max := 1
+	for _, c := range bandCounts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range bandCounts {
+		bar := ""
+		for j := 0; j < c*50/max; j++ {
+			bar += "#"
+		}
+		fmt.Printf("  z %4.0f-%4.0f  %8d  %s\n",
+			float64(i)*world.Side(2)/bands, float64(i+1)*world.Side(2)/bands, c, bar)
+	}
+	fmt.Println("\nthe peak sits in the band where axon and dendrite arbors overlap,")
+	fmt.Println("mirroring Fig. 3 of the paper: most synapses form mid-volume.")
+}

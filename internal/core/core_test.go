@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+func buildIndex(t testing.TB, elems []geom.Element, cfg IndexConfig) *Index {
+	t.Helper()
+	st := storage.NewMemStore(0)
+	if cfg.World.Volume() == 0 {
+		cfg.World = datagen.DefaultWorld()
+	}
+	idx, _, err := BuildIndex(st, append([]geom.Element(nil), elems...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func joinPairs(t testing.TB, a, b []geom.Element, icfg IndexConfig, jcfg JoinConfig) ([]geom.Pair, JoinStats) {
+	t.Helper()
+	ia := buildIndex(t, a, icfg)
+	ib := buildIndex(t, b, icfg)
+	var pairs []geom.Pair
+	stats, err := Join(ia, ib, jcfg, func(x, y geom.Element) {
+		pairs = append(pairs, geom.Pair{A: x.ID, B: y.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, stats
+}
+
+func TestBuildIndexShape(t *testing.T) {
+	elems := datagen.Uniform(datagen.Config{N: 5000, Seed: 1})
+	st := storage.NewMemStore(0)
+	idx, bs, err := BuildIndex(st, elems, IndexConfig{UnitCapacity: 50, NodeCapacity: 8, World: datagen.DefaultWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Units() < 100 {
+		t.Fatalf("units = %d, want >= 100", idx.Units())
+	}
+	if idx.Nodes() < idx.Units()/8 {
+		t.Fatalf("nodes = %d for %d units", idx.Nodes(), idx.Units())
+	}
+	if bs.DataPages != idx.Units() {
+		t.Fatalf("data pages %d != units %d", bs.DataPages, idx.Units())
+	}
+	if bs.MetaPages == 0 {
+		t.Fatal("metadata pages not written")
+	}
+	if bs.IO.Writes == 0 {
+		t.Fatal("indexing performed no writes")
+	}
+	// Sequential layout: data pages are written in STR order, mostly
+	// sequentially (contrast with PBSM's scattered partitions).
+	if bs.IO.SeqWrites < bs.IO.RandWrites {
+		t.Fatalf("index build should write sequentially: %+v", bs.IO)
+	}
+	// Every node must have neighbors (regions tile the world).
+	if idx.Nodes() > 1 {
+		for i, n := range idx.nodes {
+			if len(n.Neighbors) == 0 {
+				t.Fatalf("node %d has no neighbors", i)
+			}
+		}
+	}
+}
+
+func TestBuildIndexEmpty(t *testing.T) {
+	st := storage.NewMemStore(0)
+	idx, _, err := BuildIndex(st, nil, IndexConfig{World: datagen.DefaultWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Units() != 0 || idx.Nodes() != 0 {
+		t.Fatalf("empty index has %d units, %d nodes", idx.Units(), idx.Nodes())
+	}
+	other := buildIndex(t, datagen.Uniform(datagen.Config{N: 100, Seed: 1}), IndexConfig{})
+	var n int
+	if _, err := Join(idx, other, JoinConfig{}, func(geom.Element, geom.Element) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("join with empty index found %d pairs", n)
+	}
+}
+
+func TestJoinMatchesNaiveUniform(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 2000, Seed: 2, MaxSide: 15})
+	b := datagen.Uniform(datagen.Config{N: 1800, Seed: 3, MaxSide: 15})
+	got, _ := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatal("TRANSFORMERS disagrees with naive on uniform data")
+	}
+}
+
+func TestJoinMatchesNaiveContrastingDensity(t *testing.T) {
+	// The regime GIPSY targets: tiny sparse vs large dense.
+	sparse := datagen.Uniform(datagen.Config{N: 50, Seed: 4, MaxSide: 10})
+	dense := datagen.Uniform(datagen.Config{N: 5000, Seed: 5, MaxSide: 10})
+	want := naive.Join(sparse, dense)
+	got, stats := joinPairs(t, sparse, dense, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	if !naive.Equal(got, want) {
+		t.Fatal("TRANSFORMERS disagrees with naive (sparse A, dense B)")
+	}
+	if stats.RoleSwitches+stats.NodeSplits == 0 {
+		t.Fatalf("contrasting density should trigger transformations: %+v", stats)
+	}
+	// Swapped orientation.
+	got2, _ := joinPairs(t, dense, sparse, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	want2 := naive.Join(dense, sparse)
+	if !naive.Equal(got2, want2) {
+		t.Fatal("TRANSFORMERS disagrees with naive (dense A, sparse B)")
+	}
+}
+
+func TestJoinMatchesNaiveClustered(t *testing.T) {
+	a := datagen.DenseCluster(datagen.Config{N: 3000, Seed: 6, MaxSide: 8})
+	b := datagen.UniformCluster(datagen.Config{N: 3000, Seed: 7, MaxSide: 8})
+	got, _ := joinPairs(t, a, b, IndexConfig{UnitCapacity: 50, NodeCapacity: 10}, JoinConfig{})
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatal("TRANSFORMERS disagrees with naive on clustered data")
+	}
+}
+
+func TestJoinMatchesNaiveMassiveCluster(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 4000, Seed: 8, MaxSide: 5})
+	b := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 5})
+	got, stats := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatal("TRANSFORMERS disagrees with naive on MassiveCluster")
+	}
+	if stats.Results != uint64(len(got)) {
+		t.Fatalf("Results = %d, emitted %d", stats.Results, len(got))
+	}
+}
+
+func TestJoinGuideBStart(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 1500, Seed: 10, MaxSide: 12})
+	b := datagen.MassiveCluster(datagen.Config{N: 1500, Seed: 11, MaxSide: 12})
+	want := naive.Join(a, b)
+	gotA, _ := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	gotB, _ := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{GuideB: true})
+	if !naive.Equal(gotA, want) {
+		t.Fatal("guide-A join incorrect")
+	}
+	if !naive.Equal(gotB, want) {
+		t.Fatal("guide-B join incorrect")
+	}
+}
+
+func TestJoinNoTransformations(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 3000, Seed: 12, MaxSide: 8})
+	b := datagen.Uniform(datagen.Config{N: 500, Seed: 13, MaxSide: 8})
+	want := naive.Join(a, b)
+	got, stats := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{DisableTransforms: true})
+	if !naive.Equal(got, want) {
+		t.Fatal("No-TR join disagrees with naive")
+	}
+	if stats.RoleSwitches+stats.NodeSplits+stats.UnitSplits != 0 {
+		t.Fatalf("No-TR join performed transformations: %+v", stats)
+	}
+}
+
+func TestJoinThresholdExtremes(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 2500, Seed: 14, MaxSide: 6})
+	b := datagen.Uniform(datagen.Config{N: 800, Seed: 15, MaxSide: 6})
+	want := naive.Join(a, b)
+	// OverFit: transform constantly.
+	over, so := joinPairs(t, a, b, IndexConfig{UnitCapacity: 30, NodeCapacity: 6},
+		JoinConfig{TSU: 1.5, TSO: 1.5, FixedThresholds: true})
+	if !naive.Equal(over, want) {
+		t.Fatal("OverFit join disagrees with naive")
+	}
+	// UnderFit: never transform.
+	under, su := joinPairs(t, a, b, IndexConfig{UnitCapacity: 30, NodeCapacity: 6},
+		JoinConfig{TSU: 1e6, TSO: 1e6, FixedThresholds: true})
+	if !naive.Equal(under, want) {
+		t.Fatal("UnderFit join disagrees with naive")
+	}
+	if su.NodeSplits+su.UnitSplits+su.RoleSwitches != 0 {
+		t.Fatalf("UnderFit transformed: %+v", su)
+	}
+	if so.NodeSplits+so.UnitSplits == 0 {
+		t.Fatalf("OverFit did not transform: %+v", so)
+	}
+	if so.TSUFinal != 1.5 || su.TSUFinal != 1e6 {
+		t.Fatalf("FixedThresholds drifted: %v %v", so.TSUFinal, su.TSUFinal)
+	}
+}
+
+func TestJoinNoDuplicatesWithRoleSwitches(t *testing.T) {
+	// Interleave dense and sparse regions in both datasets so roles flip.
+	mix := func(seed int64) []geom.Element {
+		w1 := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{400, 1000, 1000}}
+		w2 := geom.Box{Lo: geom.Point{600, 0, 0}, Hi: geom.Point{1000, 1000, 1000}}
+		a := datagen.Uniform(datagen.Config{N: 2500, Seed: seed, World: w1, MaxSide: 10})
+		b := datagen.Uniform(datagen.Config{N: 100, Seed: seed + 1, World: w2, MaxSide: 10, IDBase: 1 << 20})
+		return append(a, b...)
+	}
+	mix2 := func(seed int64) []geom.Element {
+		w1 := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{400, 1000, 1000}}
+		w2 := geom.Box{Lo: geom.Point{600, 0, 0}, Hi: geom.Point{1000, 1000, 1000}}
+		a := datagen.Uniform(datagen.Config{N: 100, Seed: seed, World: w1, MaxSide: 10})
+		b := datagen.Uniform(datagen.Config{N: 2500, Seed: seed + 1, World: w2, MaxSide: 10, IDBase: 1 << 20})
+		return append(a, b...)
+	}
+	a := mix(20)
+	b := mix2(30)
+	want := naive.Join(a, b)
+	got, stats := joinPairs(t, a, b, IndexConfig{UnitCapacity: 30, NodeCapacity: 6}, JoinConfig{TSU: 2, TSO: 4, FixedThresholds: true})
+	if d := naive.Dedup(append([]geom.Pair(nil), got...)); len(d) != len(got) {
+		t.Fatalf("join emitted %d duplicates (role switches: %d)", len(got)-len(d), stats.RoleSwitches)
+	}
+	if !naive.Equal(got, want) {
+		t.Fatalf("mixed-skew join disagrees with naive: got %d want %d", len(got), len(want))
+	}
+}
+
+func TestJoinLargeProtrudingElements(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 400, Seed: 16, MaxSide: 300})
+	b := datagen.Uniform(datagen.Config{N: 500, Seed: 17, MaxSide: 200})
+	got, _ := joinPairs(t, a, b, IndexConfig{UnitCapacity: 20, NodeCapacity: 5}, JoinConfig{})
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatal("join misses pairs with protruding elements")
+	}
+}
+
+func TestJoinDisjointDatasets(t *testing.T) {
+	wa := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{100, 100, 100}}
+	wb := geom.Box{Lo: geom.Point{700, 700, 700}, Hi: geom.Point{900, 900, 900}}
+	a := datagen.Uniform(datagen.Config{N: 500, Seed: 18, World: wa})
+	b := datagen.Uniform(datagen.Config{N: 500, Seed: 19, World: wb})
+	got, _ := joinPairs(t, a, b, IndexConfig{}, JoinConfig{})
+	if len(got) != 0 {
+		t.Fatalf("disjoint datasets matched %d pairs", len(got))
+	}
+}
+
+func TestIndexReuseAcrossJoins(t *testing.T) {
+	// §III: indexes are built per dataset and reused for joins with
+	// different datasets — verify a second join over the same index works
+	// and is correct.
+	a := datagen.Uniform(datagen.Config{N: 1000, Seed: 20, MaxSide: 10})
+	b := datagen.Uniform(datagen.Config{N: 900, Seed: 21, MaxSide: 10})
+	c := datagen.MassiveCluster(datagen.Config{N: 1100, Seed: 22, MaxSide: 10})
+	ia := buildIndex(t, a, IndexConfig{UnitCapacity: 40, NodeCapacity: 8})
+	ib := buildIndex(t, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8})
+	ic := buildIndex(t, c, IndexConfig{UnitCapacity: 40, NodeCapacity: 8})
+	run := func(x, y *Index, wantA, wantB []geom.Element) {
+		var pairs []geom.Pair
+		if _, err := Join(x, y, JoinConfig{}, func(p, q geom.Element) {
+			pairs = append(pairs, geom.Pair{A: p.ID, B: q.ID})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !naive.Equal(pairs, naive.Join(wantA, wantB)) {
+			t.Fatal("reused-index join disagrees with naive")
+		}
+	}
+	run(ia, ib, a, b)
+	run(ia, ic, a, c) // same ia, different partner
+	run(ia, ib, a, b) // repeat: joins must not mutate the index
+}
+
+func TestJoinStatsConsistency(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 2000, Seed: 23, MaxSide: 10})
+	b := datagen.Uniform(datagen.Config{N: 2000, Seed: 24, MaxSide: 10})
+	_, stats := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	if stats.IO.Reads == 0 {
+		t.Fatal("join performed no reads")
+	}
+	if stats.IO.Writes != 0 {
+		t.Fatalf("join wrote %d pages", stats.IO.Writes)
+	}
+	if stats.Comparisons == 0 || stats.MetaComparisons == 0 || stats.WalkSteps == 0 {
+		t.Fatalf("counters not populated: %+v", stats)
+	}
+	if stats.Wall <= 0 {
+		t.Fatal("wall time not measured")
+	}
+}
+
+// failingStore wraps a MemStore and fails reads after a countdown, for
+// failure-injection testing.
+type failingStore struct {
+	*storage.MemStore
+	countdown int
+}
+
+var errInjected = errors.New("injected read failure")
+
+func (f *failingStore) Read(id storage.PageID, buf []byte) error {
+	f.countdown--
+	if f.countdown <= 0 {
+		return errInjected
+	}
+	return f.MemStore.Read(id, buf)
+}
+
+func TestJoinPropagatesStorageErrors(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 800, Seed: 25, MaxSide: 10})
+	b := datagen.Uniform(datagen.Config{N: 800, Seed: 26, MaxSide: 10})
+	fs := &failingStore{MemStore: storage.NewMemStore(0), countdown: 1 << 30}
+	ia, _, err := BuildIndex(fs, a, IndexConfig{World: datagen.DefaultWorld(), UnitCapacity: 40, NodeCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _, err := BuildIndex(fs, b, IndexConfig{World: datagen.DefaultWorld(), UnitCapacity: 40, NodeCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.countdown = 5 // fail the fifth read of the join
+	_, err = Join(ia, ib, JoinConfig{}, func(geom.Element, geom.Element) {})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}
+
+func TestPropJoinMatchesNaive(t *testing.T) {
+	f := func(seed int64, nA, nB uint16, sideRaw uint8, knobs uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		side := float64(sideRaw%60) + 1
+		a := datagen.Uniform(datagen.Config{N: int(nA)%400 + 1, Seed: r.Int63(), MaxSide: side})
+		b := datagen.Uniform(datagen.Config{N: int(nB)%400 + 1, Seed: r.Int63(), MaxSide: side})
+		icfg := IndexConfig{
+			UnitCapacity: int(knobs)%30 + 4,
+			NodeCapacity: int(knobs)%6 + 2,
+			World:        datagen.DefaultWorld(),
+		}
+		jcfg := JoinConfig{GuideB: knobs&1 == 1}
+		if knobs&2 != 0 {
+			jcfg.TSU, jcfg.TSO, jcfg.FixedThresholds = 1.5, 1.5, true // force transforms
+		}
+		got, _ := joinPairs(t, a, b, icfg, jcfg)
+		return naive.Equal(got, naive.Join(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJoinSkewedMatchesNaive(t *testing.T) {
+	f := func(seed int64, nSparse uint8, nDense uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		sparse := datagen.Uniform(datagen.Config{N: int(nSparse)%50 + 1, Seed: r.Int63(), MaxSide: 10})
+		dense := datagen.MassiveCluster(datagen.Config{N: int(nDense)%2000 + 100, Seed: r.Int63(), MaxSide: 10})
+		got, _ := joinPairs(t, sparse, dense, IndexConfig{UnitCapacity: 30, NodeCapacity: 6}, JoinConfig{})
+		return naive.Equal(got, naive.Join(sparse, dense))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

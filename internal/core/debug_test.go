@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/naive"
+)
+
+// TestDebugMassiveClusterDiff pinpoints missing/extra pairs for the
+// MassiveCluster regression; kept as a regression canary.
+func TestDebugMassiveClusterDiff(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 4000, Seed: 8, MaxSide: 5})
+	b := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 5})
+	want := naive.Join(a, b)
+	got, stats := joinPairs(t, a, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8}, JoinConfig{})
+	gotSet := make(map[geom.Pair]int)
+	for _, p := range got {
+		gotSet[p]++
+	}
+	missing, extra, dups := 0, 0, 0
+	for _, p := range want {
+		if gotSet[p] == 0 {
+			missing++
+			if missing <= 5 {
+				t.Logf("missing pair %+v", p)
+			}
+		}
+	}
+	wantSet := make(map[geom.Pair]bool)
+	for _, p := range want {
+		wantSet[p] = true
+	}
+	for p, c := range gotSet {
+		if !wantSet[p] {
+			extra++
+			if extra <= 5 {
+				t.Logf("extra pair %+v", p)
+			}
+		}
+		if c > 1 {
+			dups++
+			if dups <= 5 {
+				t.Logf("duplicated pair %+v x%d", p, c)
+			}
+		}
+	}
+	t.Logf("got %d want %d missing %d extra %d dup %d; stats %+v",
+		len(got), len(want), missing, extra, dups, stats)
+	if missing+extra+dups > 0 {
+		t.Fail()
+	}
+}

@@ -1,0 +1,647 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/storage"
+	"repro/internal/sweep"
+)
+
+// JoinConfig controls the adaptive exploration join.
+type JoinConfig struct {
+	// DisableTransforms turns off role and layout transformations: the join
+	// then always uses space nodes as the data layout with the initial
+	// guide (the "No TR" configuration of §VII-D1).
+	DisableTransforms bool
+	// TSU is the initial node→unit split threshold; DefaultTSU when zero
+	// (§VII-D2). The OverFit/UnderFit configurations of the paper set 1.5
+	// and 1e6 with FixedThresholds.
+	TSU float64
+	// TSO is the initial unit→element split threshold; DefaultTSO when zero.
+	TSO float64
+	// FixedThresholds disables runtime recalibration of TSU/TSO.
+	FixedThresholds bool
+	// GuideB starts with dataset B as the guide; the paper assigns the
+	// initial roles randomly, adaptation makes the choice irrelevant.
+	GuideB bool
+	// CachePages sizes the per-dataset page cache; 256 when zero.
+	CachePages int
+	// GridCfg tunes the in-memory grid hash join.
+	GridCfg grid.Config
+	// Disk prices page reads for the cost model; DefaultDiskModel when
+	// zero.
+	Disk storage.DiskModel
+	// MaxWalkSteps bounds one directed walk defensively; 4x the follower's
+	// descriptor count when zero.
+	MaxWalkSteps int
+}
+
+// JoinStats reports the cost of one join.
+type JoinStats struct {
+	// Comparisons counts element-element MBB intersection tests (the
+	// paper's "#intersection tests"; its Fig. 11 variant for TRANSFORMERS
+	// also includes metadata comparisons — add MetaComparisons for that).
+	Comparisons uint64
+	// MetaComparisons counts descriptor tests (walks, crawls, filters).
+	MetaComparisons uint64
+	// WalkSteps counts descriptors dequeued by adaptive walks.
+	WalkSteps uint64
+	// RoleSwitches, NodeSplits and UnitSplits count executed
+	// transformations (§VI).
+	RoleSwitches, NodeSplits, UnitSplits uint64
+	// Results counts emitted pairs.
+	Results uint64
+	// IO is the join-phase storage traffic (cache hits excluded).
+	IO storage.Stats
+	// Wall is the total elapsed in-memory time.
+	Wall time.Duration
+	// ExploreWall is the adaptive-exploration share of Wall: walking,
+	// crawling and metadata filtering (the "Overhead" series of Fig. 14).
+	ExploreWall time.Duration
+	// JoinWall is the data share of Wall: page reads, decoding and the
+	// in-memory joins (the "Join cost" series of Fig. 14).
+	JoinWall time.Duration
+	// TSUFinal, TSOFinal and CfltFinal expose the cost model's state after
+	// the join (threshold sensitivity experiments).
+	TSUFinal, TSOFinal, CfltFinal float64
+}
+
+// side is the per-dataset state of one join run.
+type side struct {
+	idx        *Index
+	st         storage.Store // LRU view over idx.st
+	checked    []bool        // per node: fully processed as pivot
+	remaining  int           // unchecked node count
+	cursor     int           // position in idx.nodeOrder
+	lastNode   int32         // node-walk position
+	lastUnit   int32         // unit-walk position (-1 until set)
+	nodeWalker *walker
+	unitWalker *walker
+	buf        []byte
+	isA        bool
+	// readThroughGap is the largest gap (in pages) a batch read streams
+	// through rather than seeking over: the break-even point seek/transfer
+	// of the join's disk model, the same heuristic real scan readahead
+	// uses. Zero disables read-through.
+	readThroughGap storage.PageID
+	// readMark/readEpoch tally distinct candidate pages read while one
+	// pivot is processed at a finer layout, for the cflt feedback.
+	readMark  []uint32
+	readEpoch uint32
+}
+
+func newSide(idx *Index, cachePages int, isA bool) *side {
+	return &side{
+		idx:        idx,
+		st:         storage.NewLRU(idx.st, cachePages),
+		checked:    make([]bool, len(idx.nodes)),
+		remaining:  len(idx.nodes),
+		lastUnit:   -1,
+		nodeWalker: newWalker(len(idx.nodes)),
+		unitWalker: newWalker(len(idx.units)),
+		buf:        make([]byte, idx.st.PageSize()),
+		isA:        isA,
+		readMark:   make([]uint32, len(idx.units)),
+	}
+}
+
+// nextUnchecked returns the next pivot node in Hilbert order, skipping
+// checked nodes. The caller guarantees remaining > 0.
+func (s *side) nextUnchecked() int32 {
+	for {
+		n := s.idx.nodeOrder[s.cursor%len(s.idx.nodeOrder)]
+		s.cursor++
+		if !s.checked[n] {
+			return n
+		}
+	}
+}
+
+func (s *side) markChecked(n int32) {
+	if !s.checked[n] {
+		s.checked[n] = true
+		s.remaining--
+	}
+}
+
+// nodeStart picks the walk start for a target: the B+-tree's nearest node by
+// Hilbert value of the target center, or the previous walk position,
+// whichever region is closer (§V: the B+-tree only provides the starting
+// point of the exploration).
+func (s *side) nodeStart(target geom.Box) int32 {
+	e, ok := s.idx.tree.Nearest(s.idx.mapper.Value(target.Center()))
+	if !ok {
+		return s.lastNode
+	}
+	byTree := int32(e.Value)
+	if s.idx.nodes[s.lastNode].Nav.DistSq(target) <= s.idx.nodes[byTree].Nav.DistSq(target) {
+		return s.lastNode
+	}
+	return byTree
+}
+
+// readUnit loads one space unit's elements through the side's cache.
+func (s *side) readUnit(ui int32, dst []geom.Element) ([]geom.Element, error) {
+	return storage.ReadElementPage(s.st, s.idx.units[ui].Page, dst, s.buf)
+}
+
+// beginReadTally starts a fresh distinct-read count for one pivot.
+func (s *side) beginReadTally() { s.readEpoch++ }
+
+// tallyRead marks unit ui as read for the current pivot and reports whether
+// this was its first read.
+func (s *side) tallyRead(ui int32) bool {
+	if s.readMark[ui] == s.readEpoch {
+		return false
+	}
+	s.readMark[ui] = s.readEpoch
+	return true
+}
+
+// sortByPage orders unit IDs by their physical page so batch reads run
+// sequentially over the disk.
+func (s *side) sortByPage(units []int32) {
+	sort.Slice(units, func(i, j int) bool {
+		return s.idx.units[units[i]].Page < s.idx.units[units[j]].Page
+	})
+}
+
+// readBatch reads the given units' pages in physical order, streaming
+// through short gaps, and appends all their elements to dst. The unit slice
+// is reordered (sorted by page).
+func (s *side) readBatch(units []int32, dst []geom.Element) ([]geom.Element, error) {
+	s.sortByPage(units)
+	var last storage.PageID
+	haveLast := false
+	for _, ui := range units {
+		p := s.idx.units[ui].Page
+		if haveLast && p > last && p-last <= s.readThroughGap {
+			for q := last + 1; q < p; q++ {
+				if err := s.st.Read(q, s.buf); err != nil {
+					return dst, err
+				}
+			}
+		}
+		var err error
+		dst, err = storage.ReadElementPage(s.st, p, dst, s.buf)
+		if err != nil {
+			return dst, err
+		}
+		last = p
+		haveLast = true
+	}
+	return dst, nil
+}
+
+// debugTrace, when set by tests, receives a trace of exploration decisions.
+var debugTrace func(format string, args ...interface{})
+
+func tracef(format string, args ...interface{}) {
+	if debugTrace != nil {
+		debugTrace(format, args...)
+	}
+}
+
+// joinRun holds the state of one adaptive exploration (Algorithm 2).
+type joinRun struct {
+	cfg     JoinConfig
+	sides   [2]*side
+	model   *costModel
+	stats   JoinStats
+	emit    func(a, b geom.Element)
+	maxWalk [2]int // per side, bounds walks over that side's graphs
+}
+
+// Join executes TRANSFORMERS' adaptive exploration between two indexed
+// datasets, emitting every intersecting element pair (a from ia, b from ib)
+// exactly once, regardless of internal role switching.
+func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStats, error) {
+	var r joinRun
+	r.cfg = cfg
+	r.emit = emit
+	if ia.size == 0 || ib.size == 0 || len(ia.nodes) == 0 || len(ib.nodes) == 0 {
+		return r.stats, nil
+	}
+	cachePages := cfg.CachePages
+	if cachePages <= 0 {
+		cachePages = 256
+	}
+	r.sides[0] = newSide(ia, cachePages, true)
+	r.sides[1] = newSide(ib, cachePages, false)
+	r.model = newCostModel(cfg, ia, ib)
+	for _, s := range r.sides {
+		s.readThroughGap = storage.PageID(r.model.seek / (m2s(s.idx.st.PageSize(), cfg) + 1e-12))
+		if s.readThroughGap > 64 {
+			s.readThroughGap = 64
+		}
+	}
+	for i, s := range r.sides {
+		r.maxWalk[i] = cfg.MaxWalkSteps
+		if r.maxWalk[i] <= 0 {
+			r.maxWalk[i] = 4 * (len(s.idx.units) + len(s.idx.nodes))
+		}
+	}
+
+	start := time.Now()
+	beforeA := ia.st.Stats()
+	shared := ia.st == ib.st
+	var beforeB storage.Stats
+	if !shared {
+		beforeB = ib.st.Stats()
+	}
+
+	g, f := 0, 1
+	if cfg.GuideB {
+		g, f = 1, 0
+	}
+	for r.sides[g].remaining > 0 && r.sides[f].remaining > 0 {
+		pn := r.sides[g].nextUnchecked()
+		switched, err := r.processPivot(g, f, pn)
+		if err != nil {
+			return r.stats, err
+		}
+		if switched {
+			g, f = f, g
+		}
+	}
+
+	r.stats.Wall = time.Since(start)
+	r.stats.IO = ia.st.Stats().Sub(beforeA)
+	if !shared {
+		r.stats.IO = r.stats.IO.Add(ib.st.Stats().Sub(beforeB))
+	}
+	r.stats.TSUFinal = r.model.tsu
+	r.stats.TSOFinal = r.model.tso
+	r.stats.CfltFinal = r.model.cflt
+	return r.stats, nil
+}
+
+// m2s returns the modeled transfer seconds for one page of the given size.
+func m2s(pageSize int, cfg JoinConfig) float64 {
+	disk := cfg.Disk
+	if disk == (storage.DiskModel{}) {
+		disk = storage.DefaultDiskModel()
+	}
+	if disk.TransferBytesPerSec <= 0 {
+		return 0
+	}
+	return float64(pageSize) / disk.TransferBytesPerSec
+}
+
+// emitOriented reports one result pair found with the guide on side g,
+// restoring the caller's A/B orientation.
+func (r *joinRun) emitOriented(g int, guideElem, followerElem geom.Element) {
+	r.stats.Results++
+	if r.sides[g].isA {
+		r.emit(guideElem, followerElem)
+	} else {
+		r.emit(followerElem, guideElem)
+	}
+}
+
+// processPivot handles one pivot space node of the guide: it walks the
+// follower to the pivot, applies transformations (§VI), and joins. It
+// returns switched=true when a role transformation made the old follower
+// the new guide.
+func (r *joinRun) processPivot(g, f int, pn int32) (switched bool, err error) {
+	G, F := r.sides[g], r.sides[f]
+	pivot := &G.idx.nodes[pn]
+	target := pivot.PageMBB
+
+	t0 := time.Now()
+	wres := F.nodeWalker.walk(nodeGraph{F.idx}, F.nodeStart(target), target, r.maxWalk[f])
+	tracef("pivot side=%d node=%d found=%d", g, pn, wres.found)
+	F.lastNode = wres.nearest
+	dt := time.Since(t0)
+	r.stats.WalkSteps += wres.steps
+	r.stats.MetaComparisons += wres.steps
+	r.stats.ExploreWall += dt
+	r.model.observeWalk(wres.steps, dt)
+	if wres.found < 0 {
+		// No follower Nav box intersects the pivot, so no follower element
+		// can: the pivot joins nothing.
+		G.markChecked(pn)
+		return false, nil
+	}
+
+	if !r.cfg.DisableTransforms {
+		fn := &F.idx.nodes[wres.found]
+		ratio := densityRatio(pivot.PageMBB.Volume(), pivot.Count, fn.PageMBB.Volume(), fn.Count)
+		if ratio <= 1/r.model.tsu && !F.checked[wres.found] {
+			// Role transformation (Eq. 5): the follower is locally sparser;
+			// it becomes the guide and the node found near the old pivot
+			// becomes the new pivot, immediately processed at the finer
+			// layout (§VI-A: "This decision is followed by data layout
+			// transformation"). A found node that is already checked has
+			// already joined everything — switching onto it would redo (and
+			// duplicate) its work, so the switch only fires on unchecked
+			// nodes.
+			r.stats.RoleSwitches++
+			tracef("ROLE SWITCH at side=%d node=%d -> new pivot side=%d node=%d", g, pn, f, wres.found)
+			if err := r.processNodeAtUnitLevel(f, g, wres.found); err != nil {
+				return false, err
+			}
+			F.markChecked(wres.found)
+			return true, nil
+		}
+		if ratio >= r.model.tsu {
+			// Data layout transformation (Eq. 4): split the pivot node
+			// into space units.
+			r.stats.NodeSplits++
+			tracef("NODE SPLIT side=%d node=%d", g, pn)
+			err := r.processNodeAtUnitLevel(g, f, pn)
+			G.markChecked(pn)
+			return false, err
+		}
+	}
+	tracef("NODE LEVEL side=%d node=%d", g, pn)
+	err = r.processNodeLevel(g, f, pn, wres.found)
+	G.markChecked(pn)
+	return false, err
+}
+
+// nodeLevelCandidates computes exactly the unit sets a node-level (coarse)
+// processing of pivot pn against follower F reads: the crawl's candidate
+// units (page MBB intersecting the pivot, unchecked parent nodes only)
+// filtered by the guide/follower page-MBB join (§V "In-memory Join").
+func (r *joinRun) nodeLevelCandidates(g, f int, pn, found int32) (keptG, keptF []int32) {
+	G, F := r.sides[g], r.sides[f]
+	pivot := &G.idx.nodes[pn]
+	target := pivot.PageMBB
+
+	t0 := time.Now()
+	var candUnits []int32
+	visited := F.nodeWalker.crawl(nodeGraph{F.idx}, found, target, func(nd int32) {
+		if F.checked[nd] {
+			return // every pair with nd was emitted when nd was the pivot
+		}
+		n := &F.idx.nodes[nd]
+		r.stats.MetaComparisons++
+		if !n.PageMBB.Intersects(pivot.PageMBB) {
+			return
+		}
+		for _, ui := range n.Units {
+			r.stats.MetaComparisons++
+			if F.idx.units[ui].PageMBB.Intersects(pivot.PageMBB) {
+				candUnits = append(candUnits, ui)
+			}
+		}
+	})
+	r.stats.MetaComparisons += visited
+
+	// Page-MBB filter between the guide's and the follower's candidate
+	// units: only pages that intersect a page of the other side are read.
+	keepG := make([]bool, len(pivot.Units))
+	keepF := make([]bool, len(candUnits))
+	gRefs := make([]geom.Element, len(pivot.Units))
+	for i, ui := range pivot.Units {
+		gRefs[i] = geom.Element{ID: uint64(i), Box: G.idx.units[ui].PageMBB}
+	}
+	fRefs := make([]geom.Element, len(candUnits))
+	for i, ui := range candUnits {
+		fRefs[i] = geom.Element{ID: uint64(i), Box: F.idx.units[ui].PageMBB}
+	}
+	r.stats.MetaComparisons += sweep.Join(gRefs, fRefs, func(a, b geom.Element) {
+		keepG[a.ID] = true
+		keepF[b.ID] = true
+	})
+	keptG = make([]int32, 0, len(pivot.Units))
+	for i, ui := range pivot.Units {
+		if keepG[i] {
+			keptG = append(keptG, ui)
+		}
+	}
+	keptF = make([]int32, 0, len(candUnits))
+	for i, ui := range candUnits {
+		if keepF[i] {
+			keptF = append(keptF, ui)
+		}
+	}
+	r.stats.ExploreWall += time.Since(t0)
+	return keptG, keptF
+}
+
+// processNodeLevel joins a pivot node against the follower at the coarse
+// layout: crawl the follower's nodes around the intersection record, filter
+// both candidate unit sets by joining their page MBBs (§V "In-memory Join"),
+// then grid-join the surviving pages.
+func (r *joinRun) processNodeLevel(g, f int, pn, found int32) error {
+	G, F := r.sides[g], r.sides[f]
+	keptG, keptF := r.nodeLevelCandidates(g, f, pn, found)
+
+	// Read the surviving pages of both sides in physical page order,
+	// streaming through short gaps, so the runs stay sequential.
+	tj := time.Now()
+	gElems, err := G.readBatch(keptG, nil)
+	if err != nil {
+		return err
+	}
+	fElems, err := F.readBatch(keptF, nil)
+	if err != nil {
+		return err
+	}
+	comps := grid.Join(gElems, fElems, r.cfg.GridCfg, func(ge, fe geom.Element) {
+		r.emitOriented(g, ge, fe)
+	})
+	dt := time.Since(tj)
+	r.stats.Comparisons += comps
+	r.stats.JoinWall += dt
+	r.model.observeJoin(comps, dt)
+	return nil
+}
+
+// processNodeAtUnitLevel joins one pivot node at space-unit granularity
+// (§VI-B, levels 1/1): every unit of the pivot node individually walks and
+// crawls the follower's unit graph, escalating to element granularity when
+// the contrast is extreme (Eq. 8).
+func (r *joinRun) processNodeAtUnitLevel(g, f int, pn int32) error {
+	G, F := r.sides[g], r.sides[f]
+	pivot := &G.idx.nodes[pn]
+	target := pivot.PageMBB
+
+	// Position the follower's unit walk near the pivot node first.
+	t0 := time.Now()
+	nres := F.nodeWalker.walk(nodeGraph{F.idx}, F.nodeStart(target), target, r.maxWalk[f])
+	F.lastNode = nres.nearest
+	r.stats.WalkSteps += nres.steps
+	r.stats.MetaComparisons += nres.steps
+	r.model.observeWalk(nres.steps, time.Since(t0))
+	r.stats.ExploreWall += time.Since(t0)
+	if nres.found < 0 {
+		return nil
+	}
+	cur := F.idx.nodes[nres.found].Units[0]
+
+	// cflt baseline: the follower pages a node-level (coarse) processing of
+	// this pivot would read — the crawl candidates surviving the page-MBB
+	// filter. The achieved filter fraction is measured against it after the
+	// fine-grained processing below.
+	_, wouldF := r.nodeLevelCandidates(g, f, pn, nres.found)
+	wouldRead := len(wouldF)
+	F.beginReadTally()
+	distinctRead := 0
+	randBefore := F.idx.st.Stats().RandReads
+
+	var gElems []geom.Element
+	for _, ui := range pivot.Units {
+		u := &G.idx.units[ui]
+		utarget := u.PageMBB
+
+		tw := time.Now()
+		wres := F.unitWalker.walk(unitGraph{F.idx}, cur, utarget, r.maxWalk[f])
+		cur = wres.nearest
+		F.lastUnit = wres.nearest
+		dt := time.Since(tw)
+		r.stats.WalkSteps += wres.steps
+		r.stats.MetaComparisons += wres.steps
+		r.stats.ExploreWall += dt
+		r.model.observeWalk(wres.steps, dt)
+		if wres.found < 0 {
+			tracef("unit walk FAILED side=%d unit=%d", g, ui)
+			continue
+		}
+
+		if !r.cfg.DisableTransforms {
+			fu := &F.idx.units[wres.found]
+			ratio := densityRatio(u.PageMBB.Volume(), u.Count, fu.PageMBB.Volume(), fu.Count)
+			if ratio >= r.model.tso {
+				// Finest-grained transformation (Eq. 8): split the unit
+				// into its spatial elements.
+				r.stats.UnitSplits++
+				tracef("UNIT SPLIT side=%d unit=%d foundF=%d", g, ui, wres.found)
+				read, err := r.processUnitAtElementLevel(g, f, ui, wres.found)
+				if err != nil {
+					return err
+				}
+				distinctRead += read
+				continue
+			}
+		}
+
+		// Unit-level crawl and join: collect follower units whose pages can
+		// intersect the pivot unit, read them, grid-join.
+		tc := time.Now()
+		var cands []int32
+		visited := F.unitWalker.crawl(unitGraph{F.idx}, wres.found, utarget, func(fu int32) {
+			fd := &F.idx.units[fu]
+			r.stats.MetaComparisons++
+			if F.checked[fd.Node] {
+				return
+			}
+			if fd.PageMBB.Intersects(u.PageMBB) {
+				cands = append(cands, fu)
+			}
+		})
+		r.stats.MetaComparisons += visited
+		for _, fu := range cands {
+			if F.tallyRead(fu) {
+				distinctRead++
+			}
+		}
+		r.stats.ExploreWall += time.Since(tc)
+		if len(cands) == 0 {
+			continue
+		}
+
+		tj := time.Now()
+		gElems = gElems[:0]
+		var err error
+		if gElems, err = G.readUnit(ui, gElems); err != nil {
+			return err
+		}
+		fElems, err := F.readBatch(cands, nil)
+		if err != nil {
+			return err
+		}
+		comps := grid.Join(gElems, fElems, r.cfg.GridCfg, func(ge, fe geom.Element) {
+			r.emitOriented(g, ge, fe)
+		})
+		dt = time.Since(tj)
+		r.stats.Comparisons += comps
+		r.stats.JoinWall += dt
+		r.model.observeJoin(comps, dt)
+	}
+	// Feed the realized costs back into the cost model (§VI-C): the filter
+	// fraction (the fine-grained layout avoided reading
+	// wouldRead-distinctRead of the pages coarse processing would touch) and
+	// the random accesses the finer batches paid for it.
+	r.model.observeFineIO(F.idx.st.Stats().RandReads-randBefore, len(pivot.Units))
+	r.model.observeFilter(wouldRead-distinctRead, wouldRead)
+	return nil
+}
+
+// processUnitAtElementLevel joins one pivot space unit at element
+// granularity (level 2/1): each element of the unit individually navigates
+// the follower's unit graph, as GIPSY does for its entire guide dataset. It
+// returns the distinct candidate pages read (for cflt accounting; the
+// caller's read tally must be active).
+func (r *joinRun) processUnitAtElementLevel(g, f int, ui, startU int32) (distinctRead int, err error) {
+	G, F := r.sides[g], r.sides[f]
+
+	tj := time.Now()
+	pivots, err := G.readUnit(ui, nil)
+	if err != nil {
+		return 0, err
+	}
+	r.stats.JoinWall += time.Since(tj)
+
+	cur := startU
+	var fElems []geom.Element
+	for _, e := range pivots {
+		etarget := e.Box
+
+		tw := time.Now()
+		wres := F.unitWalker.walk(unitGraph{F.idx}, cur, etarget, r.maxWalk[f])
+		cur = wres.nearest
+		F.lastUnit = wres.nearest
+		dt := time.Since(tw)
+		r.stats.WalkSteps += wres.steps
+		r.stats.MetaComparisons += wres.steps
+		r.stats.ExploreWall += dt
+		r.model.observeWalk(wres.steps, dt)
+		if wres.found < 0 {
+			continue
+		}
+
+		tc := time.Now()
+		var cands []int32
+		visited := F.unitWalker.crawl(unitGraph{F.idx}, wres.found, etarget, func(fu int32) {
+			fd := &F.idx.units[fu]
+			r.stats.MetaComparisons++
+			if F.checked[fd.Node] {
+				return
+			}
+			if fd.PageMBB.Intersects(e.Box) {
+				cands = append(cands, fu)
+			}
+		})
+		r.stats.MetaComparisons += visited
+		for _, fu := range cands {
+			if F.tallyRead(fu) {
+				distinctRead++
+			}
+		}
+		r.stats.ExploreWall += time.Since(tc)
+
+		te := time.Now()
+		fElems = fElems[:0]
+		if fElems, err = F.readBatch(cands, fElems); err != nil {
+			return distinctRead, err
+		}
+		var comps uint64
+		for _, fe := range fElems {
+			comps++
+			if fe.Box.Intersects(e.Box) {
+				r.emitOriented(g, e, fe)
+			}
+		}
+		dt = time.Since(te)
+		r.stats.Comparisons += comps
+		r.stats.JoinWall += dt
+		r.model.observeJoin(comps, dt)
+	}
+	return distinctRead, nil
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+func TestSlowProbe(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 2500, Seed: 14, MaxSide: 6})
+	b := datagen.Uniform(datagen.Config{N: 800, Seed: 15, MaxSide: 6})
+	ia := buildIndex(t, a, IndexConfig{UnitCapacity: 30, NodeCapacity: 6, World: datagen.DefaultWorld()})
+	ib := buildIndex(t, b, IndexConfig{UnitCapacity: 30, NodeCapacity: 6, World: datagen.DefaultWorld()})
+	_, err := Join(ia, ib, JoinConfig{TSU: 1.5, TSO: 1.5, FixedThresholds: true}, func(geom.Element, geom.Element) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/storage"
+)
+
+// TestWalkFromEveryStart is the regression test for the false-local-minimum
+// bug: a unit-level walk towards a target that some unit intersects must
+// succeed from every possible start unit.
+func TestWalkFromEveryStart(t *testing.T) {
+	a := datagen.MassiveCluster(datagen.Config{N: 4000, Seed: 8, MaxSide: 5})
+	b := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 5})
+	stA := storage.NewMemStore(0)
+	stB := storage.NewMemStore(0)
+	ia, _, err := BuildIndex(stA, a, IndexConfig{UnitCapacity: 40, NodeCapacity: 8, World: datagen.DefaultWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _, err := BuildIndex(stB, b, IndexConfig{UnitCapacity: 40, NodeCapacity: 8, World: datagen.DefaultWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := newWalker(len(ia.units))
+	maxWalk := 4 * (len(ia.units) + len(ia.nodes))
+	for _, target := range []int{0, 6, len(ib.units) / 2, len(ib.units) - 1} {
+		tb := ib.units[target].PageMBB
+		intersecting := false
+		for ui := range ia.units {
+			if ia.units[ui].Nav.Intersects(tb) {
+				intersecting = true
+				break
+			}
+		}
+		for start := 0; start < len(ia.units); start++ {
+			res := w.walk(unitGraph{ia}, int32(start), tb, maxWalk)
+			if intersecting && res.found < 0 {
+				t.Fatalf("walk to B-unit %d target failed from start %d", target, start)
+			}
+			if !intersecting && res.found >= 0 {
+				t.Fatalf("walk found phantom intersection from start %d", start)
+			}
+		}
+	}
+	// Node-level walks too.
+	wn := newWalker(len(ia.nodes))
+	for _, target := range []int{0, len(ib.nodes) - 1} {
+		tb := ib.nodes[target].PageMBB
+		for start := 0; start < len(ia.nodes); start++ {
+			res := wn.walk(nodeGraph{ia}, int32(start), tb, maxWalk)
+			if res.found < 0 && ia.nodes[0].Nav.Intersects(tb) {
+				// only assert when an intersection plainly exists
+				t.Fatalf("node walk to B-node %d failed from start %d", target, start)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package datagen generates the synthetic and neuroscience-like workloads of
+// the paper's evaluation (§VII-B).
+//
+// Synthetic datasets distribute boxes in a 1000^3 space; the side of each box
+// is uniform in (0, 1]. Three clustered distributions are provided besides
+// Uniform:
+//
+//   - DenseCluster: ~700 densely populated clusters, centers drawn from a
+//     normal distribution (µ=500, σ=220) per dimension.
+//   - UniformCluster: 100 clusters whose elements spread so widely the result
+//     is nearly uniform.
+//   - MassiveCluster: 5 densely populated clusters of fixed spatial size that
+//     absorb dataset growth, over a thin uniform background — so skew grows
+//     with dataset size, as §VII-D1 describes.
+//
+// The neuroscience generator substitutes for the rat-brain model: it grows
+// branched morphologies of small elongated cylinder segments (approximated by
+// MBBs), with axons biased towards the top of the volume and dendrites
+// towards the bottom, reproducing the skewed overlap of paper Fig. 3.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// DefaultWorld is the synthetic evaluation space: 1000 units per dimension.
+func DefaultWorld() geom.Box {
+	return geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{1000, 1000, 1000}}
+}
+
+// Config controls a synthetic dataset.
+type Config struct {
+	// N is the number of elements to generate.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// World is the space to fill; DefaultWorld() when zero.
+	World geom.Box
+	// MaxSide bounds the uniform random box side length; 1.0 when zero.
+	MaxSide float64
+	// IDBase offsets element IDs (useful to keep two datasets' IDs disjoint
+	// in examples; join algorithms never rely on global uniqueness).
+	IDBase uint64
+}
+
+func (c Config) normalize() Config {
+	if !c.World.Valid() || c.World.Volume() == 0 {
+		c.World = DefaultWorld()
+	}
+	if c.MaxSide <= 0 {
+		c.MaxSide = 1.0
+	}
+	return c
+}
+
+// boxAt creates one element box centered at p with uniform random sides.
+func boxAt(r *rand.Rand, cfg Config, id uint64, p geom.Point) geom.Element {
+	half := geom.Point{
+		r.Float64() * cfg.MaxSide / 2,
+		r.Float64() * cfg.MaxSide / 2,
+		r.Float64() * cfg.MaxSide / 2,
+	}
+	return geom.Element{ID: cfg.IDBase + id, Box: geom.BoxAround(p, half)}
+}
+
+// clampPoint pulls p into the world box.
+func clampPoint(p geom.Point, world geom.Box) geom.Point {
+	for d := 0; d < geom.Dims; d++ {
+		if p[d] < world.Lo[d] {
+			p[d] = world.Lo[d]
+		}
+		if p[d] > world.Hi[d] {
+			p[d] = world.Hi[d]
+		}
+	}
+	return p
+}
+
+// uniformPoint draws a point uniformly from the world box.
+func uniformPoint(r *rand.Rand, world geom.Box) geom.Point {
+	var p geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		p[d] = world.Lo[d] + r.Float64()*world.Side(d)
+	}
+	return p
+}
+
+// Uniform generates cfg.N uniformly distributed elements.
+func Uniform(cfg Config) []geom.Element {
+	cfg = cfg.normalize()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	elems := make([]geom.Element, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		elems = append(elems, boxAt(r, cfg, uint64(i), uniformPoint(r, cfg.World)))
+	}
+	return elems
+}
+
+// clusterSpec drives the shared clustered generator.
+type clusterSpec struct {
+	numClusters   int
+	sigmaFraction float64 // cluster spread as a fraction of the world side
+	normalCenters bool    // centers ~ N(500,220) per dim vs uniform
+}
+
+// clustered generates elements around cluster centers; element offsets are
+// normal with the given per-cluster sigma.
+func clustered(cfg Config, spec clusterSpec) []geom.Element {
+	cfg = cfg.normalize()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([]geom.Point, spec.numClusters)
+	for i := range centers {
+		if spec.normalCenters {
+			// Paper: normal distribution with µ=500, σ=220 per dimension,
+			// scaled to the actual world box.
+			var p geom.Point
+			for d := 0; d < geom.Dims; d++ {
+				mu := cfg.World.Lo[d] + cfg.World.Side(d)*0.5
+				sigma := cfg.World.Side(d) * 0.22
+				p[d] = r.NormFloat64()*sigma + mu
+			}
+			centers[i] = clampPoint(p, cfg.World)
+		} else {
+			centers[i] = uniformPoint(r, cfg.World)
+		}
+	}
+	elems := make([]geom.Element, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c := centers[i%spec.numClusters]
+		var p geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			p[d] = c[d] + r.NormFloat64()*cfg.World.Side(d)*spec.sigmaFraction
+		}
+		elems = append(elems, boxAt(r, cfg, uint64(i), clampPoint(p, cfg.World)))
+	}
+	return elems
+}
+
+// DenseCluster generates ~700 densely populated clusters (§VII-B).
+func DenseCluster(cfg Config) []geom.Element {
+	return clustered(cfg, clusterSpec{numClusters: 700, sigmaFraction: 0.008, normalCenters: true})
+}
+
+// UniformCluster generates 100 clusters spread so wide the distribution is
+// nearly uniform (§VII-B).
+func UniformCluster(cfg Config) []geom.Element {
+	return clustered(cfg, clusterSpec{numClusters: 100, sigmaFraction: 0.15, normalCenters: true})
+}
+
+// MassiveClusterBackgroundFraction is the share of a MassiveCluster dataset
+// spread uniformly over the world; the rest is packed into the five clusters,
+// so local density contrast grows with dataset size.
+const MassiveClusterBackgroundFraction = 0.2
+
+// MassiveCluster generates 5 densely populated clusters of fixed spatial
+// extent plus a thin uniform background (§VII-B, §VII-D1).
+func MassiveCluster(cfg Config) []geom.Element {
+	cfg = cfg.normalize()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	const numClusters = 5
+	// Fixed, well-separated cluster centers with a fixed radius: growth in N
+	// increases in-cluster density, hence skew.
+	centers := make([]geom.Point, numClusters)
+	for i := range centers {
+		centers[i] = uniformPoint(r, cfg.World)
+	}
+	radius := cfg.World.Side(0) * 0.05
+	nBackground := int(float64(cfg.N) * MassiveClusterBackgroundFraction)
+	elems := make([]geom.Element, 0, cfg.N)
+	for i := 0; i < nBackground; i++ {
+		elems = append(elems, boxAt(r, cfg, uint64(i), uniformPoint(r, cfg.World)))
+	}
+	for i := nBackground; i < cfg.N; i++ {
+		c := centers[i%numClusters]
+		// Uniform within a cube of side 2*radius around the center, per the
+		// paper's "uniformly distributed elements" within each cluster.
+		var p geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			p[d] = c[d] + (r.Float64()*2-1)*radius
+		}
+		elems = append(elems, boxAt(r, cfg, uint64(i), clampPoint(p, cfg.World)))
+	}
+	return elems
+}
+
+// NeuronKind selects which half of the neuroscience workload to generate.
+type NeuronKind int
+
+const (
+	// Axon elements concentrate towards the top of the volume (paper Fig. 3,
+	// left). Axons are 60% of the combined dataset in the paper.
+	Axon NeuronKind = iota
+	// Dendrite elements concentrate towards the bottom (paper Fig. 3, right).
+	Dendrite
+)
+
+// NeuroConfig controls the neuroscience-like generator.
+type NeuroConfig struct {
+	// N is the number of cylinder-segment elements.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// World is the tissue volume; DefaultWorld() when zero.
+	World geom.Box
+	// Kind selects axons or dendrites.
+	Kind NeuronKind
+	// SegmentsPerNeuron controls morphology size (paper: several thousand
+	// cylinders reconstruct one neuron); default 1000.
+	SegmentsPerNeuron int
+	// IDBase offsets element IDs.
+	IDBase uint64
+}
+
+// Neuroscience grows branched neuron morphologies out of elongated cylinder
+// segments approximated by their MBBs. Each morphology starts at a soma
+// whose vertical position is biased by Kind, then performs a branching
+// random walk; every step emits one segment element.
+func Neuroscience(cfg NeuroConfig) []geom.Element {
+	if !cfg.World.Valid() || cfg.World.Volume() == 0 {
+		cfg.World = DefaultWorld()
+	}
+	if cfg.SegmentsPerNeuron <= 0 {
+		cfg.SegmentsPerNeuron = 1000
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	elems := make([]geom.Element, 0, cfg.N)
+
+	segLen := cfg.World.Side(0) * 0.004     // elongated segments, ~4 units in 1000
+	thickness := cfg.World.Side(0) * 0.0005 // thin cylinders
+
+	id := uint64(0)
+	for len(elems) < cfg.N {
+		soma := somaPoint(r, cfg)
+		// Random walk with occasional branching: a stack of open growth tips.
+		type tip struct {
+			pos geom.Point
+			dir geom.Point
+		}
+		tips := []tip{{pos: soma, dir: randomUnit(r)}}
+		for steps := 0; steps < cfg.SegmentsPerNeuron && len(elems) < cfg.N && len(tips) > 0; steps++ {
+			ti := len(tips) - 1
+			cur := tips[ti]
+			// Jitter the heading, take one step, emit the segment MBB.
+			cur.dir = perturbUnit(r, cur.dir, 0.35)
+			next := cur.pos.Add(cur.dir.Scale(segLen))
+			next = clampPoint(next, cfg.World)
+			seg := geom.NewBox(cur.pos, next).Expand(thickness)
+			elems = append(elems, geom.Element{ID: cfg.IDBase + id, Box: seg})
+			id++
+			cur.pos = next
+			tips[ti] = cur
+			switch {
+			case r.Float64() < 0.02 && len(tips) < 6:
+				// Branch: fork a new tip heading off at a new angle.
+				tips = append(tips, tip{pos: next, dir: perturbUnit(r, cur.dir, 1.5)})
+			case r.Float64() < 0.01 && len(tips) > 1:
+				// Terminal: retire this tip.
+				tips = tips[:ti]
+			}
+		}
+	}
+	return elems
+}
+
+// somaPoint draws a morphology root. Axon somas are biased to the top 30% of
+// the volume, dendrites to the bottom half, with overlap in between — the
+// join's result set comes from that overlap zone.
+func somaPoint(r *rand.Rand, cfg NeuroConfig) geom.Point {
+	p := uniformPoint(r, cfg.World)
+	zLo, zSide := cfg.World.Lo[2], cfg.World.Side(2)
+	var zFrac float64
+	if cfg.Kind == Axon {
+		zFrac = 0.8 + r.NormFloat64()*0.12
+	} else {
+		zFrac = 0.35 + r.NormFloat64()*0.18
+	}
+	p[2] = zLo + math.Max(0, math.Min(1, zFrac))*zSide
+	return p
+}
+
+// randomUnit draws a uniformly distributed unit vector.
+func randomUnit(r *rand.Rand) geom.Point {
+	for {
+		v := geom.Point{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		if n > 1e-9 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+// perturbUnit tilts dir by a normal deviation of the given magnitude and
+// renormalizes.
+func perturbUnit(r *rand.Rand, dir geom.Point, mag float64) geom.Point {
+	v := dir.Add(geom.Point{r.NormFloat64() * mag, r.NormFloat64() * mag, r.NormFloat64() * mag})
+	n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	if n < 1e-9 {
+		return dir
+	}
+	return v.Scale(1 / n)
+}

@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUniformBasics(t *testing.T) {
+	cfg := Config{N: 5000, Seed: 1}
+	elems := Uniform(cfg)
+	if len(elems) != 5000 {
+		t.Fatalf("len = %d", len(elems))
+	}
+	world := DefaultWorld()
+	grown := world.Expand(1) // boxes may protrude by at most MaxSide/2
+	for i, e := range elems {
+		if !e.Box.Valid() {
+			t.Fatalf("element %d invalid box %v", i, e.Box)
+		}
+		if !grown.Contains(e.Box) {
+			t.Fatalf("element %d escapes world: %v", i, e.Box)
+		}
+		for d := 0; d < geom.Dims; d++ {
+			if e.Box.Side(d) > 1.0 {
+				t.Fatalf("element %d side %d too long: %v", i, d, e.Box.Side(d))
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(Config{N: 100, Seed: 42})
+	b := Uniform(Config{N: 100, Seed: 42})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Uniform(Config{N: 100, Seed: 43})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestIDsSequentialWithBase(t *testing.T) {
+	elems := Uniform(Config{N: 10, Seed: 1, IDBase: 1000})
+	for i, e := range elems {
+		if e.ID != uint64(1000+i) {
+			t.Fatalf("element %d has ID %d", i, e.ID)
+		}
+	}
+}
+
+// occupancy computes the fraction of occupied cells of a k^3 grid: a cheap
+// clustering measure. Uniform data occupies most cells; tight clusters few.
+func occupancy(elems []geom.Element, k int) float64 {
+	world := DefaultWorld()
+	occupied := make(map[[3]int]bool)
+	for _, e := range elems {
+		c := e.Box.Center()
+		var cell [3]int
+		for d := 0; d < geom.Dims; d++ {
+			f := (c[d] - world.Lo[d]) / world.Side(d) * float64(k)
+			cell[d] = int(math.Max(0, math.Min(float64(k-1), f)))
+		}
+		occupied[cell] = true
+	}
+	return float64(len(occupied)) / float64(k*k*k)
+}
+
+// concentration returns the share of elements that fall into the densest 1%
+// of cells of a k^3 grid: near (1% of cells' fair share) for uniform data,
+// near 1.0 for extreme clustering.
+func concentration(elems []geom.Element, k int) float64 {
+	world := DefaultWorld()
+	counts := make(map[[3]int]int)
+	for _, e := range elems {
+		c := e.Box.Center()
+		var cell [3]int
+		for d := 0; d < geom.Dims; d++ {
+			f := (c[d] - world.Lo[d]) / world.Side(d) * float64(k)
+			cell[d] = int(math.Max(0, math.Min(float64(k-1), f)))
+		}
+		counts[cell]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, v := range counts {
+		all = append(all, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := k * k * k / 100
+	if top < 1 {
+		top = 1
+	}
+	sum := 0
+	for i := 0; i < top && i < len(all); i++ {
+		sum += all[i]
+	}
+	return float64(sum) / float64(len(elems))
+}
+
+func TestDistributionShapes(t *testing.T) {
+	const n = 20000
+	uni := occupancy(Uniform(Config{N: n, Seed: 5}), 10)
+	dense := occupancy(DenseCluster(Config{N: n, Seed: 5}), 10)
+	uc := occupancy(UniformCluster(Config{N: n, Seed: 5}), 10)
+	if uni < 0.95 {
+		t.Errorf("uniform occupancy too low: %v", uni)
+	}
+	if dense >= uni {
+		t.Errorf("DenseCluster (%v) should be more clustered than Uniform (%v)", dense, uni)
+	}
+	if uc < 0.5 {
+		t.Errorf("UniformCluster should be nearly uniform, occupancy %v", uc)
+	}
+	// MassiveCluster packs 80% of elements into 5 fixed-size clusters, so
+	// the densest 1% of grid cells must hold far more than their fair share.
+	cUni := concentration(Uniform(Config{N: n, Seed: 5}), 10)
+	cMassive := concentration(MassiveCluster(Config{N: n, Seed: 5}), 10)
+	if cMassive < 5*cUni {
+		t.Errorf("MassiveCluster concentration %v should dwarf Uniform %v", cMassive, cUni)
+	}
+	if cMassive < 0.5 {
+		t.Errorf("MassiveCluster should concentrate most elements, got %v", cMassive)
+	}
+}
+
+func TestMassiveClusterSkewGrowsWithN(t *testing.T) {
+	// The fixed-extent clusters absorb growth, so the max-cell share of
+	// elements must grow (or at least not shrink) with N.
+	maxShare := func(n int) float64 {
+		elems := MassiveCluster(Config{N: n, Seed: 9})
+		world := DefaultWorld()
+		const k = 10
+		counts := make(map[[3]int]int)
+		for _, e := range elems {
+			c := e.Box.Center()
+			var cell [3]int
+			for d := 0; d < geom.Dims; d++ {
+				f := (c[d] - world.Lo[d]) / world.Side(d) * float64(k)
+				cell[d] = int(math.Max(0, math.Min(float64(k-1), f)))
+			}
+			counts[cell]++
+		}
+		max := 0
+		for _, v := range counts {
+			if v > max {
+				max = v
+			}
+		}
+		return float64(max) / float64(n)
+	}
+	small := maxShare(2000)
+	large := maxShare(40000)
+	if large < small*0.9 {
+		t.Errorf("skew should not shrink with N: small=%v large=%v", small, large)
+	}
+}
+
+func TestNeuroscienceShapes(t *testing.T) {
+	const n = 10000
+	axons := Neuroscience(NeuroConfig{N: n, Seed: 3, Kind: Axon})
+	dendrites := Neuroscience(NeuroConfig{N: n, Seed: 4, Kind: Dendrite})
+	if len(axons) != n || len(dendrites) != n {
+		t.Fatalf("lengths: %d %d", len(axons), len(dendrites))
+	}
+	world := DefaultWorld()
+	meanZ := func(elems []geom.Element) float64 {
+		var s float64
+		for _, e := range elems {
+			s += e.Box.Center()[2]
+		}
+		return s / float64(len(elems))
+	}
+	az, dz := meanZ(axons), meanZ(dendrites)
+	if az <= dz {
+		t.Errorf("axons should sit above dendrites: axon z=%v dendrite z=%v", az, dz)
+	}
+	if az < world.Side(2)*0.55 {
+		t.Errorf("axons not biased to the top: mean z=%v", az)
+	}
+	// Segments must be small relative to the volume (tiny cylinders).
+	for i, e := range axons {
+		for d := 0; d < geom.Dims; d++ {
+			if e.Box.Side(d) > world.Side(d)*0.02 {
+				t.Fatalf("axon segment %d too large: %v", i, e.Box)
+			}
+		}
+		if !e.Box.Valid() {
+			t.Fatalf("axon segment %d invalid", i)
+		}
+	}
+}
+
+func TestNeuroscienceOverlapExists(t *testing.T) {
+	// Axons and dendrites must share a z-band, otherwise joins would be
+	// trivially empty and useless as workloads.
+	axons := Neuroscience(NeuroConfig{N: 5000, Seed: 3, Kind: Axon})
+	dendrites := Neuroscience(NeuroConfig{N: 5000, Seed: 4, Kind: Dendrite})
+	amin, dmax := math.Inf(1), math.Inf(-1)
+	for _, e := range axons {
+		amin = math.Min(amin, e.Box.Lo[2])
+	}
+	for _, e := range dendrites {
+		dmax = math.Max(dmax, e.Box.Hi[2])
+	}
+	if amin >= dmax {
+		t.Fatalf("no z overlap: axon min %v vs dendrite max %v", amin, dmax)
+	}
+}
+
+func TestCustomWorld(t *testing.T) {
+	world := geom.Box{Lo: geom.Point{-10, -10, -10}, Hi: geom.Point{10, 10, 10}}
+	elems := Uniform(Config{N: 500, Seed: 2, World: world, MaxSide: 0.1})
+	grown := world.Expand(0.1)
+	for i, e := range elems {
+		if !grown.Contains(e.Box) {
+			t.Fatalf("element %d escapes custom world: %v", i, e.Box)
+		}
+	}
+}
+
+func TestZeroN(t *testing.T) {
+	if got := Uniform(Config{N: 0, Seed: 1}); len(got) != 0 {
+		t.Fatalf("N=0 should produce no elements, got %d", len(got))
+	}
+	if got := MassiveCluster(Config{N: 0, Seed: 1}); len(got) != 0 {
+		t.Fatalf("N=0 MassiveCluster should produce no elements, got %d", len(got))
+	}
+	if got := Neuroscience(NeuroConfig{N: 0, Seed: 1}); len(got) != 0 {
+		t.Fatalf("N=0 Neuroscience should produce no elements, got %d", len(got))
+	}
+}

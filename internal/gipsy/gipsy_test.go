@@ -1,0 +1,164 @@
+package gipsy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+func buildIndex(t testing.TB, dense []geom.Element, pageCap int) *Index {
+	t.Helper()
+	st := storage.NewMemStore(0)
+	idx, _, err := BuildIndex(st, dense, Config{PageCapacity: pageCap, World: datagen.DefaultWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func joinOnce(t testing.TB, sparse, dense []geom.Element, pageCap int) ([]geom.Pair, JoinStats) {
+	t.Helper()
+	idx := buildIndex(t, append([]geom.Element(nil), dense...), pageCap)
+	var pairs []geom.Pair
+	stats, err := Join(sparse, idx, JoinConfig{}, func(s, d geom.Element) {
+		pairs = append(pairs, geom.Pair{A: s.ID, B: d.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, stats
+}
+
+func TestBuildIndexShape(t *testing.T) {
+	dense := datagen.Uniform(datagen.Config{N: 3000, Seed: 1})
+	st := storage.NewMemStore(0)
+	idx, bs, err := BuildIndex(st, dense, Config{PageCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnits := (3000 + 63) / 64
+	if idx.Units() < wantUnits {
+		t.Fatalf("units = %d, want >= %d", idx.Units(), wantUnits)
+	}
+	if bs.Units != idx.Units() {
+		t.Fatalf("stats units mismatch: %d vs %d", bs.Units, idx.Units())
+	}
+	if bs.IO.Writes == 0 {
+		t.Fatal("index build should write pages")
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every unit must have at least one neighbor in a multi-unit index
+	// (regions tile space).
+	for i := 0; i < idx.Units(); i++ {
+		if len(idx.units[i].neighbors) == 0 {
+			t.Fatalf("unit %d has no neighbors", i)
+		}
+	}
+}
+
+func TestJoinMatchesNaiveSparseDense(t *testing.T) {
+	sparse := datagen.Uniform(datagen.Config{N: 60, Seed: 2, MaxSide: 10})
+	dense := datagen.Uniform(datagen.Config{N: 4000, Seed: 3, MaxSide: 10})
+	got, stats := joinOnce(t, sparse, dense, 64)
+	if !naive.Equal(got, naive.Join(sparse, dense)) {
+		t.Fatalf("gipsy disagrees with naive")
+	}
+	if stats.WalkSteps == 0 {
+		t.Fatal("walk steps not counted")
+	}
+}
+
+func TestJoinMatchesNaiveClusteredDense(t *testing.T) {
+	sparse := datagen.Uniform(datagen.Config{N: 80, Seed: 4, MaxSide: 10})
+	dense := datagen.MassiveCluster(datagen.Config{N: 5000, Seed: 5, MaxSide: 10})
+	got, _ := joinOnce(t, sparse, dense, 50)
+	if !naive.Equal(got, naive.Join(sparse, dense)) {
+		t.Fatalf("gipsy disagrees with naive on clustered dense set")
+	}
+}
+
+func TestJoinSparseOutsideDense(t *testing.T) {
+	// Guide elements far outside the dense dataset's extent must not match
+	// and must not break the walk.
+	denseWorld := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{100, 100, 100}}
+	sparseWorld := geom.Box{Lo: geom.Point{800, 800, 800}, Hi: geom.Point{900, 900, 900}}
+	dense := datagen.Uniform(datagen.Config{N: 2000, Seed: 6, World: denseWorld})
+	sparse := datagen.Uniform(datagen.Config{N: 40, Seed: 7, World: sparseWorld})
+	got, _ := joinOnce(t, sparse, dense, 64)
+	if len(got) != 0 {
+		t.Fatalf("disjoint datasets matched %d pairs", len(got))
+	}
+}
+
+func TestJoinLargeProtrudingElements(t *testing.T) {
+	// Large elements protrude far beyond their unit regions; the expanded
+	// navigation target must still find all pairs.
+	sparse := datagen.Uniform(datagen.Config{N: 40, Seed: 8, MaxSide: 5})
+	dense := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 300})
+	got, _ := joinOnce(t, sparse, dense, 20)
+	if !naive.Equal(got, naive.Join(sparse, dense)) {
+		t.Fatalf("gipsy misses pairs with protruding elements")
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	dense := datagen.Uniform(datagen.Config{N: 500, Seed: 10})
+	got, _ := joinOnce(t, nil, dense, 64)
+	if len(got) != 0 {
+		t.Fatalf("empty sparse side produced %d pairs", len(got))
+	}
+	got, _ = joinOnce(t, dense[:10], nil, 64)
+	if len(got) != 0 {
+		t.Fatalf("empty dense side produced %d pairs", len(got))
+	}
+}
+
+func TestJoinNoDuplicates(t *testing.T) {
+	sparse := datagen.Uniform(datagen.Config{N: 100, Seed: 11, MaxSide: 30})
+	dense := datagen.DenseCluster(datagen.Config{N: 3000, Seed: 12, MaxSide: 30})
+	got, _ := joinOnce(t, sparse, dense, 64)
+	if d := naive.Dedup(append([]geom.Pair(nil), got...)); len(d) != len(got) {
+		t.Fatalf("gipsy emitted %d duplicates", len(got)-len(d))
+	}
+}
+
+func TestSelectiveReads(t *testing.T) {
+	// A tiny sparse set must not read the whole dense dataset: GIPSY's
+	// selling point (paper §II-A).
+	sparse := datagen.Uniform(datagen.Config{N: 5, Seed: 13, MaxSide: 2})
+	dense := datagen.Uniform(datagen.Config{N: 60000, Seed: 14, MaxSide: 2})
+	idx := buildIndex(t, dense, 0)
+	totalPages := idx.st.NumPages()
+	before := idx.st.Stats()
+	if _, err := Join(sparse, idx, JoinConfig{}, func(geom.Element, geom.Element) {}); err != nil {
+		t.Fatal(err)
+	}
+	reads := idx.st.Stats().Sub(before).Reads
+	if reads > uint64(totalPages)/4 {
+		t.Fatalf("sparse join read %d of %d pages", reads, totalPages)
+	}
+}
+
+func TestPropJoinMatchesNaive(t *testing.T) {
+	f := func(seed int64, nS, nD uint8, sideRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		side := float64(sideRaw%60) + 1
+		sparse := datagen.Uniform(datagen.Config{N: int(nS)%40 + 1, Seed: r.Int63(), MaxSide: side})
+		dense := datagen.Uniform(datagen.Config{N: int(nD)%300 + 10, Seed: r.Int63(), MaxSide: side})
+		got, _ := joinOnce(t, sparse, dense, int(nD)%30+5)
+		return naive.Equal(got, naive.Join(sparse, dense))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestEncodeOrder1CoversAllCells(t *testing.T) {
+	seen := make(map[uint64][3]uint32)
+	for x := uint32(0); x < 2; x++ {
+		for y := uint32(0); y < 2; y++ {
+			for z := uint32(0); z < 2; z++ {
+				h := Encode(1, x, y, z)
+				if h > 7 {
+					t.Fatalf("order-1 index %d out of range for (%d,%d,%d)", h, x, y, z)
+				}
+				if prev, dup := seen[h]; dup {
+					t.Fatalf("index %d assigned to both %v and (%d,%d,%d)", h, prev, x, y, z)
+				}
+				seen[h] = [3]uint32{x, y, z}
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 distinct cells, got %d", len(seen))
+	}
+}
+
+func TestEncodeStartsAtOrigin(t *testing.T) {
+	for order := 1; order <= 8; order++ {
+		if h := Encode(order, 0, 0, 0); h != 0 {
+			t.Fatalf("order %d: Encode(0,0,0) = %d, want 0", order, h)
+		}
+	}
+}
+
+func TestDecodeInverseExhaustiveSmall(t *testing.T) {
+	const order = 3 // 512 cells
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			for z := uint32(0); z < 8; z++ {
+				h := Encode(order, x, y, z)
+				gx, gy, gz := Decode(order, h)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("Decode(Encode(%d,%d,%d)) = (%d,%d,%d)", x, y, z, gx, gy, gz)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveContinuity(t *testing.T) {
+	// Consecutive Hilbert indexes must decode to cells at Manhattan
+	// distance exactly 1: this is the defining locality property the
+	// adaptive walk relies on.
+	const order = 4
+	px, py, pz := Decode(order, 0)
+	total := uint64(1) << (3 * order)
+	for h := uint64(1); h < total; h++ {
+		x, y, z := Decode(order, h)
+		d := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if d != 1 {
+			t.Fatalf("step %d: cells (%d,%d,%d)->(%d,%d,%d) Manhattan distance %d, want 1",
+				h, px, py, pz, x, y, z, d)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		order := 1 + r.Intn(MaxOrder)
+		mask := uint32(1)<<uint(order) - 1
+		x, y, z := r.Uint32()&mask, r.Uint32()&mask, r.Uint32()&mask
+		h := Encode(order, x, y, z)
+		gx, gy, gz := Decode(order, h)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropIndexWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		order := 1 + r.Intn(MaxOrder)
+		mask := uint32(1)<<uint(order) - 1
+		h := Encode(order, r.Uint32()&mask, r.Uint32()&mask, r.Uint32()&mask)
+		if order == MaxOrder {
+			return true // 63 bits: any uint64 below 2^63 is fine
+		}
+		return h < uint64(1)<<uint(3*order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePanicsOnBadInput(t *testing.T) {
+	assertPanics(t, "order 0", func() { Encode(0, 0, 0, 0) })
+	assertPanics(t, "order too large", func() { Encode(MaxOrder+1, 0, 0, 0) })
+	assertPanics(t, "coordinate overflow", func() { Encode(2, 4, 0, 0) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMapperClampsOutOfWorld(t *testing.T) {
+	world := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{100, 100, 100}}
+	m := NewMapper(world, 8)
+	x, y, z := m.Cell(geom.Point{-5, 50, 200})
+	if x != 0 {
+		t.Fatalf("below-world x should clamp to 0, got %d", x)
+	}
+	if z != 255 {
+		t.Fatalf("above-world z should clamp to 255, got %d", z)
+	}
+	if y == 0 || y == 255 {
+		t.Fatalf("interior y should not clamp, got %d", y)
+	}
+}
+
+func TestMapperLocality(t *testing.T) {
+	// Points close in space should have closer Hilbert values, on average,
+	// than points far apart. Compare mean |Δh| of near pairs vs far pairs.
+	world := geom.Box{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{1000, 1000, 1000}}
+	m := NewMapper(world, 10)
+	r := rand.New(rand.NewSource(42))
+	var nearSum, farSum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		p := geom.Point{r.Float64() * 1000, r.Float64() * 1000, r.Float64() * 1000}
+		near := p.Add(geom.Point{r.Float64()*2 - 1, r.Float64()*2 - 1, r.Float64()*2 - 1})
+		far := geom.Point{r.Float64() * 1000, r.Float64() * 1000, r.Float64() * 1000}
+		hp := float64(m.Value(p))
+		nearSum += abs(hp - float64(m.Value(near)))
+		farSum += abs(hp - float64(m.Value(far)))
+	}
+	if nearSum >= farSum/10 {
+		t.Fatalf("locality too weak: near mean %g vs far mean %g", nearSum/trials, farSum/trials)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMapperDegenerateWorld(t *testing.T) {
+	world := geom.Box{Lo: geom.Point{5, 0, 0}, Hi: geom.Point{5, 10, 10}} // zero x extent
+	m := NewMapper(world, 4)
+	x, _, _ := m.Cell(geom.Point{5, 5, 5})
+	if x != 0 {
+		t.Fatalf("degenerate dimension should map to 0, got %d", x)
+	}
+}
+
+func BenchmarkEncodeOrder16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const mask = 1<<16 - 1
+	xs := make([][3]uint32, 1024)
+	for i := range xs {
+		xs[i] = [3]uint32{r.Uint32() & mask, r.Uint32() & mask, r.Uint32() & mask}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := xs[i%len(xs)]
+		Encode(16, c[0], c[1], c[2])
+	}
+}

@@ -1,0 +1,70 @@
+// Package naive provides the O(|A|·|B|) nested-loop spatial join. It is the
+// trivially correct reference every other join algorithm in this repository
+// is validated against, and the honest lower bound on simplicity any
+// optimized join must beat.
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Join returns every pair (a.ID, b.ID) whose MBBs intersect, in
+// deterministic sorted order.
+func Join(as, bs []geom.Element) []geom.Pair {
+	var out []geom.Pair
+	for _, a := range as {
+		for _, b := range bs {
+			if a.Box.Intersects(b.Box) {
+				out = append(out, geom.Pair{A: a.ID, B: b.ID})
+			}
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders pairs lexicographically (A then B), the canonical order used
+// to compare result sets across algorithms.
+func Sort(pairs []geom.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}
+
+// Equal reports whether two pair sets are identical once sorted. Both
+// arguments are sorted in place.
+func Equal(a, b []geom.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	Sort(a)
+	Sort(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dedup sorts pairs and removes exact duplicates in place, returning the
+// deduplicated slice.
+func Dedup(pairs []geom.Pair) []geom.Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	Sort(pairs)
+	w := 1
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i] != pairs[w-1] {
+			pairs[w] = pairs[i]
+			w++
+		}
+	}
+	return pairs[:w]
+}

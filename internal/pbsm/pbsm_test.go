@@ -1,0 +1,179 @@
+package pbsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+func joinOnce(t testing.TB, a, b []geom.Element, tilesPerDim, partitions int) ([]geom.Pair, BuildStats, JoinStats) {
+	t.Helper()
+	world := datagen.DefaultWorld()
+	tl, err := NewTiling(world, tilesPerDim, partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewMemStore(0)
+	ia, bsA, err := BuildIndex(st, a, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _, err := BuildIndex(st, b, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []geom.Pair
+	js, err := Join(ia, ib, grid.Config{}, func(x, y geom.Element) {
+		pairs = append(pairs, geom.Pair{A: x.ID, B: y.ID})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, bsA, js
+}
+
+func TestJoinMatchesNaiveUniform(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 1500, Seed: 1, MaxSide: 15})
+	b := datagen.Uniform(datagen.Config{N: 1200, Seed: 2, MaxSide: 15})
+	got, _, _ := joinOnce(t, a, b, 6, 0)
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatalf("pbsm join disagrees with naive")
+	}
+}
+
+func TestJoinMatchesNaiveClustered(t *testing.T) {
+	a := datagen.DenseCluster(datagen.Config{N: 1500, Seed: 3, MaxSide: 8})
+	b := datagen.UniformCluster(datagen.Config{N: 1500, Seed: 4, MaxSide: 8})
+	got, _, _ := joinOnce(t, a, b, 8, 0)
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatalf("pbsm join disagrees with naive on clustered data")
+	}
+}
+
+func TestJoinFewerPartitionsThanTiles(t *testing.T) {
+	// Round-robin tile->partition hashing must not change results.
+	a := datagen.Uniform(datagen.Config{N: 900, Seed: 5, MaxSide: 20})
+	b := datagen.MassiveCluster(datagen.Config{N: 900, Seed: 6, MaxSide: 20})
+	want := naive.Join(a, b)
+	got, _, _ := joinOnce(t, a, b, 8, 16)
+	if !naive.Equal(got, want) {
+		t.Fatalf("pbsm with hashed partitions disagrees with naive")
+	}
+	got2, _, _ := joinOnce(t, a, b, 8, 0)
+	if !naive.Equal(got2, want) {
+		t.Fatalf("pbsm with identity partitions disagrees with naive")
+	}
+}
+
+func TestNoDuplicatesDespiteReplication(t *testing.T) {
+	// Elements larger than a tile are replicated to many partitions; the
+	// reference-tile test must still report each pair once.
+	a := datagen.Uniform(datagen.Config{N: 300, Seed: 7, MaxSide: 250})
+	b := datagen.Uniform(datagen.Config{N: 300, Seed: 8, MaxSide: 250})
+	got, bs, js := joinOnce(t, a, b, 6, 0)
+	if bs.Replication <= 1.5 {
+		t.Fatalf("test needs heavy replication, got %.2f", bs.Replication)
+	}
+	if js.DedupDropped == 0 {
+		t.Fatal("expected deduplication to fire")
+	}
+	if d := naive.Dedup(append([]geom.Pair(nil), got...)); len(d) != len(got) {
+		t.Fatalf("pbsm emitted %d duplicates", len(got)-len(d))
+	}
+	if !naive.Equal(got, naive.Join(a, b)) {
+		t.Fatalf("pbsm with replication disagrees with naive")
+	}
+}
+
+func TestReplicationGrowsWithElementSize(t *testing.T) {
+	small := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 1})
+	large := datagen.Uniform(datagen.Config{N: 1000, Seed: 9, MaxSide: 200})
+	_, bsSmall, _ := joinOnce(t, small, small, 10, 0)
+	_, bsLarge, _ := joinOnce(t, large, large, 10, 0)
+	if bsLarge.Replication <= bsSmall.Replication {
+		t.Fatalf("replication should grow with element size: %.2f vs %.2f",
+			bsSmall.Replication, bsLarge.Replication)
+	}
+}
+
+func TestJoinRandomReads(t *testing.T) {
+	// The scattered page flushing must make the join read mostly randomly —
+	// the effect §VII-C1 attributes PBSM's I/O time to.
+	a := datagen.Uniform(datagen.Config{N: 30000, Seed: 10, MaxSide: 2})
+	b := datagen.Uniform(datagen.Config{N: 30000, Seed: 11, MaxSide: 2})
+	_, _, js := joinOnce(t, a, b, 6, 0)
+	if js.IO.Reads == 0 {
+		t.Fatal("join performed no reads")
+	}
+	if js.IO.RandReads < js.IO.SeqReads {
+		t.Fatalf("expected mostly random reads: %+v", js.IO)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	b := datagen.Uniform(datagen.Config{N: 50, Seed: 12})
+	got, _, _ := joinOnce(t, nil, b, 4, 0)
+	if len(got) != 0 {
+		t.Fatalf("empty A produced %d pairs", len(got))
+	}
+	got, _, _ = joinOnce(t, b, nil, 4, 0)
+	if len(got) != 0 {
+		t.Fatalf("empty B produced %d pairs", len(got))
+	}
+}
+
+func TestMismatchedTilingsRejected(t *testing.T) {
+	world := datagen.DefaultWorld()
+	tl1, _ := NewTiling(world, 4, 0)
+	tl2, _ := NewTiling(world, 4, 0)
+	st := storage.NewMemStore(0)
+	elems := datagen.Uniform(datagen.Config{N: 10, Seed: 13})
+	ia, _, err := BuildIndex(st, elems, tl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _, err := BuildIndex(st, elems, tl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Join(ia, ib, grid.Config{}, func(geom.Element, geom.Element) {}); err == nil {
+		t.Fatal("join across different tilings should fail")
+	}
+}
+
+func TestNewTilingValidation(t *testing.T) {
+	world := datagen.DefaultWorld()
+	if _, err := NewTiling(world, 0, 0); err == nil {
+		t.Fatal("tilesPerDim 0 should fail")
+	}
+	if _, err := NewTiling(geom.Box{}, 4, 0); err == nil {
+		t.Fatal("degenerate world should fail")
+	}
+	tl, err := NewTiling(world, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Partitions() != 64 {
+		t.Fatalf("partitions should cap at tile count, got %d", tl.Partitions())
+	}
+}
+
+func TestPropJoinMatchesNaive(t *testing.T) {
+	f := func(seed int64, nA, nB uint8, sideRaw uint8, tiles uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		side := float64(sideRaw%100) + 1
+		a := datagen.Uniform(datagen.Config{N: int(nA)%120 + 1, Seed: r.Int63(), MaxSide: side})
+		b := datagen.Uniform(datagen.Config{N: int(nB)%120 + 1, Seed: r.Int63(), MaxSide: side})
+		got, _, _ := joinOnce(t, a, b, int(tiles)%6+1, int(tiles)%3)
+		return naive.Equal(got, naive.Join(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

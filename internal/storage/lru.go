@@ -1,0 +1,93 @@
+package storage
+
+import "container/list"
+
+// LRU is a page-granular read cache wrapping a Store. Reads served from the
+// cache do not touch the underlying store and are therefore invisible to its
+// I/O counters — exactly like a buffer pool in front of a disk. Writes go
+// through to the store and update the cached copy.
+//
+// The R-tree join uses it to keep hot inner nodes pinned (the synchronized
+// traversal revisits them constantly), and GIPSY uses a small one so
+// consecutive guide elements crawling the same pages do not re-read them.
+type LRU struct {
+	Store
+	capacity int
+	entries  map[PageID]*list.Element
+	order    *list.List // front = most recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry struct {
+	id   PageID
+	data []byte
+}
+
+// NewLRU wraps store with a cache of the given capacity in pages. A
+// capacity <= 0 disables caching (every read goes through).
+func NewLRU(store Store, capacity int) *LRU {
+	return &LRU{
+		Store:    store,
+		capacity: capacity,
+		entries:  make(map[PageID]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Read implements Store, serving from cache when possible.
+func (c *LRU) Read(id PageID, buf []byte) error {
+	if le, ok := c.entries[id]; ok {
+		c.hits++
+		c.order.MoveToFront(le)
+		copy(buf, le.Value.(*lruEntry).data)
+		return nil
+	}
+	c.misses++
+	if err := c.Store.Read(id, buf); err != nil {
+		return err
+	}
+	c.insert(id, buf)
+	return nil
+}
+
+// Write implements Store, keeping the cache coherent.
+func (c *LRU) Write(id PageID, data []byte) error {
+	if err := c.Store.Write(id, data); err != nil {
+		return err
+	}
+	if le, ok := c.entries[id]; ok {
+		copy(le.Value.(*lruEntry).data, data)
+		c.order.MoveToFront(le)
+	}
+	return nil
+}
+
+func (c *LRU) insert(id PageID, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		evicted := back.Value.(*lruEntry)
+		delete(c.entries, evicted.id)
+		c.order.Remove(back)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.entries[id] = c.order.PushFront(&lruEntry{id: id, data: cp})
+}
+
+// HitRate returns cache hits and misses since construction.
+func (c *LRU) HitRate() (hits, misses uint64) { return c.hits, c.misses }
+
+// Invalidate drops every cached page (used between join phases when the
+// experiment requires cold caches, as in the paper's methodology).
+func (c *LRU) Invalidate() {
+	c.entries = make(map[PageID]*list.Element)
+	c.order.Init()
+}

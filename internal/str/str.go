@@ -1,0 +1,145 @@
+// Package str implements the Sort-Tile-Recursive (STR) partitioning
+// algorithm of Leutenegger et al. (ICDE '97) in three dimensions.
+//
+// STR is the data-oriented partitioner everything in this repository is
+// built on: TRANSFORMERS uses it to form space units and space nodes (paper
+// §IV), and the R-tree baseline is bulkloaded with it (paper §VII-A).
+//
+// The partitioner sorts elements by the x-coordinate of their centers and
+// cuts them into vertical slabs, sorts each slab by y and cuts rows, then
+// sorts each row by z and cuts final partitions of the requested capacity.
+// Besides the tight MBB of each partition's element boxes (the page MBB),
+// it derives the gap-free region each partition covers from the splitting
+// planes (the partition MBB of the paper): regions of sibling partitions
+// tile the world box exactly, which is what lets the adaptive walk navigate
+// between neighboring partitions without falling into dead space.
+package str
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Partition describes one STR partition over a reordered element slice.
+type Partition struct {
+	// Start and End delimit the partition's elements as s[Start:End] in the
+	// slice returned by Split.
+	Start, End int
+	// PageMBB is the tight bounding box of the member element boxes ("page
+	// MBB" in the paper): the extent of the actual data.
+	PageMBB geom.Box
+	// Region is the box delimited by the STR splitting planes ("partition
+	// MBB" in the paper). Regions of all partitions tile the world box with
+	// no gaps; element boxes may protrude beyond their Region since elements
+	// are assigned by center point.
+	Region geom.Box
+}
+
+// Count returns the number of elements in the partition.
+func (p Partition) Count() int { return p.End - p.Start }
+
+// Split reorders elems in place into STR order and returns the partitions,
+// each holding at most capacity elements. The world box bounds the outermost
+// partition regions; it is grown to cover all element centers if necessary.
+// Split panics when capacity < 1 (a programming error).
+func Split(elems []geom.Element, capacity int, world geom.Box) []Partition {
+	if capacity < 1 {
+		panic(fmt.Sprintf("str: capacity %d < 1", capacity))
+	}
+	if len(elems) == 0 {
+		return nil
+	}
+	// Ensure every center is inside the world so regions tile all the data.
+	for _, e := range elems {
+		c := e.Box.Center()
+		world = world.Union(geom.Box{Lo: c, Hi: c})
+	}
+
+	n := len(elems)
+	numParts := (n + capacity - 1) / capacity
+	s := int(math.Ceil(math.Cbrt(float64(numParts))))
+	if s < 1 {
+		s = 1
+	}
+
+	var out []Partition
+	// Slab sizes: distribute n over s slabs as evenly as possible while
+	// keeping slab boundaries multiples of whole elements. Splitting-plane
+	// coordinates must be captured right after each sort, before the next
+	// sort level shuffles elements within the cut ranges.
+	sortByDim(elems, 0)
+	slabSize := (n + s - 1) / s
+	xCuts, xPlanes := cuts(elems, slabSize, 0, world.Lo[0], world.Hi[0])
+	for si := 0; si+1 < len(xCuts); si++ {
+		slabStart, slabEnd := xCuts[si], xCuts[si+1]
+		slab := elems[slabStart:slabEnd]
+		xLo, xHi := xPlanes[si], xPlanes[si+1]
+
+		sortByDim(slab, 1)
+		rowSize := (len(slab) + s - 1) / s
+		yCuts, yPlanes := cuts(slab, rowSize, 1, world.Lo[1], world.Hi[1])
+		for ri := 0; ri+1 < len(yCuts); ri++ {
+			rowStart, rowEnd := yCuts[ri], yCuts[ri+1]
+			row := slab[rowStart:rowEnd]
+			yLo, yHi := yPlanes[ri], yPlanes[ri+1]
+
+			sortByDim(row, 2)
+			zCuts, zPlanes := cuts(row, capacity, 2, world.Lo[2], world.Hi[2])
+			for pi := 0; pi+1 < len(zCuts); pi++ {
+				pStart, pEnd := zCuts[pi], zCuts[pi+1]
+				members := row[pStart:pEnd]
+				globalStart := slabStart + rowStart + pStart
+				out = append(out, Partition{
+					Start:   globalStart,
+					End:     globalStart + len(members),
+					PageMBB: geom.MBBOf(members),
+					Region: geom.Box{
+						Lo: geom.Point{xLo, yLo, zPlanes[pi]},
+						Hi: geom.Point{xHi, yHi, zPlanes[pi+1]},
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// cuts computes the cut positions for chunks of chunkSize elements over the
+// sorted slice, and the splitting-plane coordinate at every cut in dimension
+// dim: the midpoint between the centers on either side of an interior cut,
+// and the world edges for the outermost cuts.
+func cuts(sorted []geom.Element, chunkSize, dim int, worldLo, worldHi float64) (positions []int, planes []float64) {
+	positions = append(positions, 0)
+	planes = append(planes, worldLo)
+	for pos := chunkSize; pos < len(sorted); pos += chunkSize {
+		a := sorted[pos-1].Box.Center()[dim]
+		b := sorted[pos].Box.Center()[dim]
+		positions = append(positions, pos)
+		planes = append(planes, (a+b)/2)
+	}
+	positions = append(positions, len(sorted))
+	planes = append(planes, worldHi)
+	return positions, planes
+}
+
+// sortByDim sorts elements by center coordinate of the given dimension,
+// breaking ties by ID so partitioning is deterministic.
+func sortByDim(elems []geom.Element, dim int) {
+	sort.Slice(elems, func(i, j int) bool {
+		ci, cj := elems[i].Box.Center()[dim], elems[j].Box.Center()[dim]
+		if ci != cj {
+			return ci < cj
+		}
+		return elems[i].ID < elems[j].ID
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

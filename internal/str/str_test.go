@@ -1,0 +1,193 @@
+package str
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+func world() geom.Box { return datagen.DefaultWorld() }
+
+func TestSplitEmpty(t *testing.T) {
+	if got := Split(nil, 10, world()); got != nil {
+		t.Fatalf("empty input should produce nil, got %v", got)
+	}
+}
+
+func TestSplitPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	Split([]geom.Element{{}}, 0, world())
+}
+
+func TestSplitSingle(t *testing.T) {
+	elems := datagen.Uniform(datagen.Config{N: 7, Seed: 1})
+	parts := Split(elems, 10, world())
+	if len(parts) != 1 {
+		t.Fatalf("expected single partition, got %d", len(parts))
+	}
+	p := parts[0]
+	if p.Start != 0 || p.End != 7 || p.Count() != 7 {
+		t.Fatalf("partition range: %+v", p)
+	}
+	if p.Region != world().Union(p.Region) && !world().Contains(p.Region) {
+		// Region should be the world unless centers protrude (they do not
+		// for the uniform generator).
+		t.Fatalf("region %v not within world", p.Region)
+	}
+}
+
+func checkInvariants(t *testing.T, elems []geom.Element, parts []Partition, capacity int) {
+	t.Helper()
+	// 1. Partitions cover the element slice exactly, in order, within capacity.
+	next := 0
+	for i, p := range parts {
+		if p.Start != next {
+			t.Fatalf("partition %d starts at %d, want %d", i, p.Start, next)
+		}
+		if p.Count() < 1 || p.Count() > capacity {
+			t.Fatalf("partition %d has %d elements (capacity %d)", i, p.Count(), capacity)
+		}
+		next = p.End
+	}
+	if next != len(elems) {
+		t.Fatalf("partitions cover %d of %d elements", next, len(elems))
+	}
+	for i, p := range parts {
+		// 2. PageMBB is the tight MBB of the members.
+		if got := geom.MBBOf(elems[p.Start:p.End]); got != p.PageMBB {
+			t.Fatalf("partition %d PageMBB = %v, want %v", i, p.PageMBB, got)
+		}
+		// 3. Every member's center lies inside the partition region.
+		for j := p.Start; j < p.End; j++ {
+			if !p.Region.ContainsPoint(elems[j].Box.Center()) {
+				t.Fatalf("partition %d: element %d center %v outside region %v",
+					i, j, elems[j].Box.Center(), p.Region)
+			}
+		}
+		if !p.Region.Valid() {
+			t.Fatalf("partition %d region invalid: %v", i, p.Region)
+		}
+	}
+	// 4. Regions are mutually non-overlapping (strictly) — they tile space.
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[i].Region.IntersectsStrict(parts[j].Region) {
+				t.Fatalf("regions %d and %d overlap: %v vs %v",
+					i, j, parts[i].Region, parts[j].Region)
+			}
+		}
+	}
+}
+
+func TestSplitInvariantsUniform(t *testing.T) {
+	elems := datagen.Uniform(datagen.Config{N: 1000, Seed: 2})
+	parts := Split(elems, 64, world())
+	checkInvariants(t, elems, parts, 64)
+	if len(parts) < 1000/64 {
+		t.Fatalf("too few partitions: %d", len(parts))
+	}
+}
+
+func TestSplitInvariantsClustered(t *testing.T) {
+	for name, gen := range map[string]func(datagen.Config) []geom.Element{
+		"dense":   datagen.DenseCluster,
+		"massive": datagen.MassiveCluster,
+	} {
+		elems := gen(datagen.Config{N: 2000, Seed: 3})
+		parts := Split(elems, 50, world())
+		checkInvariants(t, elems, parts, 50)
+		_ = name
+	}
+}
+
+func TestRegionsTileWorld(t *testing.T) {
+	// Any point in the world must be covered by at least one region
+	// (gap-freeness is what the adaptive walk depends on).
+	elems := datagen.Uniform(datagen.Config{N: 500, Seed: 4})
+	parts := Split(elems, 32, world())
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 1000; trial++ {
+		p := geom.Point{r.Float64() * 1000, r.Float64() * 1000, r.Float64() * 1000}
+		covered := false
+		for _, part := range parts {
+			if part.Region.ContainsPoint(p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("point %v not covered by any region", p)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := datagen.Uniform(datagen.Config{N: 300, Seed: 5})
+	b := datagen.Uniform(datagen.Config{N: 300, Seed: 5})
+	pa := Split(a, 20, world())
+	pb := Split(b, 20, world())
+	if len(pa) != len(pb) {
+		t.Fatalf("partition counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("partition %d differs", i)
+		}
+		for j := pa[i].Start; j < pa[i].End; j++ {
+			if a[j] != b[j] {
+				t.Fatalf("element order differs at %d", j)
+			}
+		}
+	}
+}
+
+func TestSplitPreservesMultiset(t *testing.T) {
+	elems := datagen.DenseCluster(datagen.Config{N: 500, Seed: 6})
+	seen := make(map[uint64]bool, len(elems))
+	for _, e := range elems {
+		seen[e.ID] = true
+	}
+	Split(elems, 16, world())
+	for _, e := range elems {
+		if !seen[e.ID] {
+			t.Fatalf("element %d appeared from nowhere", e.ID)
+		}
+		delete(seen, e.ID)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("%d elements vanished", len(seen))
+	}
+}
+
+func TestPropSplitInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint16, capRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		capacity := int(capRaw)%40 + 1
+		elems := datagen.Uniform(datagen.Config{N: n, Seed: seed})
+		parts := Split(elems, capacity, world())
+		// Cheap re-check of the core invariants.
+		next := 0
+		for _, p := range parts {
+			if p.Start != next || p.Count() < 1 || p.Count() > capacity {
+				return false
+			}
+			for j := p.Start; j < p.End; j++ {
+				if !p.Region.ContainsPoint(elems[j].Box.Center()) {
+					return false
+				}
+			}
+			next = p.End
+		}
+		return next == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package transformers
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/gipsy"
+	"repro/internal/grid"
+	"repro/internal/naive"
+	"repro/internal/pbsm"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Algorithm selects a spatial join implementation for Run.
+type Algorithm string
+
+// The four disk-based algorithms of the paper's evaluation plus the naive
+// nested loop reference.
+const (
+	// AlgoTransformers is the paper's contribution (§III–§VI).
+	AlgoTransformers Algorithm = "transformers"
+	// AlgoPBSM is the Partition Based Spatial-Merge join [3].
+	AlgoPBSM Algorithm = "pbsm"
+	// AlgoRTree is the synchronized R-tree traversal [2] over STR-bulkloaded
+	// trees [10].
+	AlgoRTree Algorithm = "rtree"
+	// AlgoGIPSY is the crawling join for contrasting densities [4]. Run
+	// uses the smaller dataset as the (required) predetermined sparse side.
+	AlgoGIPSY Algorithm = "gipsy"
+	// AlgoNaive is the O(|A|·|B|) nested loop (reference/testing only).
+	AlgoNaive Algorithm = "naive"
+)
+
+// Algorithms lists the disk-based algorithms in the paper's evaluation
+// order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoTransformers, AlgoPBSM, AlgoRTree, AlgoGIPSY}
+}
+
+// RunOptions configures an end-to-end Run.
+type RunOptions struct {
+	// PageSize is the disk page size; 8KB when zero.
+	PageSize int
+	// World bounds partitioning for all algorithms; union of the dataset
+	// MBBs when zero. PBSM requires it to cover both datasets.
+	World Box
+	// Disk prices I/O; storage.DefaultDiskModel() when zero.
+	Disk storage.DiskModel
+	// PBSMTilesPerDim sets PBSM's tile grid resolution (10 in the paper's
+	// synthetic experiments, 20 for neuroscience data); 10 when zero.
+	PBSMTilesPerDim int
+	// RTreeFanout caps R-tree node fanout; page capacity when zero.
+	RTreeFanout int
+	// Join forwards TRANSFORMERS-specific knobs.
+	Join JoinOptions
+	// CollectPairs returns the result pairs in the report (costs memory on
+	// big joins; counts are always reported).
+	CollectPairs bool
+}
+
+// RunReport is the uniform cost report of one end-to-end Run, with the
+// paper's three join-phase metrics (join time split into in-memory time and
+// modeled I/O time, and the number of intersection tests) plus indexing
+// cost.
+type RunReport struct {
+	Algorithm Algorithm
+
+	// Indexing phase.
+	BuildWall    time.Duration
+	BuildIO      storage.Stats
+	BuildIOTime  time.Duration // modeled
+	BuildTotal   time.Duration // BuildWall + BuildIOTime
+	IndexedPages int
+
+	// Join phase.
+	JoinWall    time.Duration // in-memory join time
+	JoinIO      storage.Stats
+	JoinIOTime  time.Duration // modeled
+	JoinTotal   time.Duration // JoinWall + JoinIOTime
+	Comparisons uint64        // element-element intersection tests
+	MetaComps   uint64        // metadata comparisons (descriptor/node tests)
+	Results     uint64
+
+	// TRANSFORMERS-specific detail (zero for other algorithms).
+	Transformers core.JoinStats
+
+	// Pairs is populated only with RunOptions.CollectPairs.
+	Pairs []Pair
+}
+
+// Run executes one algorithm end to end (index both datasets, join them) on
+// an in-memory simulated disk and reports uniform cost metrics. The input
+// slices are reordered in place by the partitioning algorithms.
+func Run(alg Algorithm, a, b []Element, opt RunOptions) (*RunReport, error) {
+	world := opt.World
+	if !world.Valid() || world.Volume() == 0 {
+		world = geom.MBBOf(a).Union(geom.MBBOf(b))
+	}
+	disk := opt.Disk
+	if disk == (storage.DiskModel{}) {
+		disk = storage.DefaultDiskModel()
+	}
+	rep := &RunReport{Algorithm: alg}
+	emit := func(x, y Element) {
+		if opt.CollectPairs {
+			rep.Pairs = append(rep.Pairs, Pair{A: x.ID, B: y.ID})
+		}
+	}
+
+	switch alg {
+	case AlgoTransformers:
+		stA := storage.NewMemStore(opt.PageSize)
+		stB := storage.NewMemStore(opt.PageSize)
+		ia, bsA, err := core.BuildIndex(stA, a, core.IndexConfig{World: world})
+		if err != nil {
+			return nil, err
+		}
+		ib, bsB, err := core.BuildIndex(stB, b, core.IndexConfig{World: world})
+		if err != nil {
+			return nil, err
+		}
+		rep.BuildWall = bsA.Wall + bsB.Wall
+		rep.BuildIO = bsA.IO.Add(bsB.IO)
+		rep.IndexedPages = stA.NumPages() + stB.NumPages()
+		js, err := core.Join(ia, ib, core.JoinConfig{
+			DisableTransforms: opt.Join.DisableTransforms,
+			TSU:               opt.Join.TSU,
+			TSO:               opt.Join.TSO,
+			FixedThresholds:   opt.Join.FixedThresholds,
+			GuideB:            opt.Join.GuideB,
+			Disk:              disk,
+			CachePages:        opt.Join.CachePages,
+		}, emit)
+		if err != nil {
+			return nil, err
+		}
+		rep.Transformers = js
+		rep.JoinWall = js.Wall
+		rep.JoinIO = js.IO
+		rep.Comparisons = js.Comparisons
+		rep.MetaComps = js.MetaComparisons
+		rep.Results = js.Results
+
+	case AlgoPBSM:
+		tiles := opt.PBSMTilesPerDim
+		if tiles <= 0 {
+			tiles = 10
+		}
+		tl, err := pbsm.NewTiling(world, tiles, 0)
+		if err != nil {
+			return nil, err
+		}
+		stA := storage.NewMemStore(opt.PageSize)
+		stB := storage.NewMemStore(opt.PageSize)
+		ia, bsA, err := pbsm.BuildIndex(stA, a, tl)
+		if err != nil {
+			return nil, err
+		}
+		ib, bsB, err := pbsm.BuildIndex(stB, b, tl)
+		if err != nil {
+			return nil, err
+		}
+		rep.BuildWall = bsA.Wall + bsB.Wall
+		rep.BuildIO = bsA.IO.Add(bsB.IO)
+		rep.IndexedPages = stA.NumPages() + stB.NumPages()
+		js, err := pbsm.Join(ia, ib, grid.Config{}, emit)
+		if err != nil {
+			return nil, err
+		}
+		rep.JoinWall = js.Wall
+		rep.JoinIO = js.IO
+		rep.Comparisons = js.Comparisons
+		rep.Results = js.Results
+
+	case AlgoRTree:
+		stA := storage.NewMemStore(opt.PageSize)
+		stB := storage.NewMemStore(opt.PageSize)
+		ta, bsA, err := rtree.Bulkload(stA, a, rtree.Config{Fanout: opt.RTreeFanout, World: world})
+		if err != nil {
+			return nil, err
+		}
+		tb, bsB, err := rtree.Bulkload(stB, b, rtree.Config{Fanout: opt.RTreeFanout, World: world})
+		if err != nil {
+			return nil, err
+		}
+		rep.BuildWall = bsA.Wall + bsB.Wall
+		rep.BuildIO = bsA.IO.Add(bsB.IO)
+		rep.IndexedPages = stA.NumPages() + stB.NumPages()
+		js, err := rtree.SyncJoin(ta, tb, rtree.JoinConfig{}, emit)
+		if err != nil {
+			return nil, err
+		}
+		rep.JoinWall = js.Wall
+		rep.JoinIO = js.IO
+		rep.Comparisons = js.Comparisons
+		rep.MetaComps = js.MetaComparisons
+		rep.Results = js.Results
+
+	case AlgoGIPSY:
+		// GIPSY must predetermine the sparse (guide) and dense (indexed)
+		// sides; use the smaller dataset as guide, as its authors intend.
+		sparse, dense := a, b
+		sparseIsA := true
+		if len(a) > len(b) {
+			sparse, dense = b, a
+			sparseIsA = false
+		}
+		st := storage.NewMemStore(opt.PageSize)
+		idx, bs, err := gipsy.BuildIndex(st, dense, gipsy.Config{World: world})
+		if err != nil {
+			return nil, err
+		}
+		rep.BuildWall = bs.Wall
+		rep.BuildIO = bs.IO
+		rep.IndexedPages = st.NumPages()
+		js, err := gipsy.Join(sparse, idx, gipsy.JoinConfig{}, func(s, d Element) {
+			if sparseIsA {
+				emit(s, d)
+			} else {
+				emit(d, s)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.JoinWall = js.Wall
+		rep.JoinIO = js.IO
+		rep.Comparisons = js.Comparisons
+		rep.MetaComps = js.MetaComparisons
+		rep.Results = js.Results
+
+	case AlgoNaive:
+		start := time.Now()
+		pairs := naive.Join(a, b)
+		rep.JoinWall = time.Since(start)
+		rep.Comparisons = uint64(len(a)) * uint64(len(b))
+		rep.Results = uint64(len(pairs))
+		if opt.CollectPairs {
+			rep.Pairs = pairs
+		}
+
+	default:
+		return nil, fmt.Errorf("transformers: unknown algorithm %q", alg)
+	}
+
+	rep.BuildIOTime = disk.IOTime(rep.BuildIO)
+	rep.BuildTotal = rep.BuildWall + rep.BuildIOTime
+	rep.JoinIOTime = disk.IOTime(rep.JoinIO)
+	rep.JoinTotal = rep.JoinWall + rep.JoinIOTime
+	return rep, nil
+}

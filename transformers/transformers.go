@@ -1,0 +1,230 @@
+// Package transformers is the public API of this repository: a Go
+// implementation of TRANSFORMERS (Pavlovic et al., ICDE 2016), the robust
+// disk-based spatial join that adapts its join strategy and data layout at
+// runtime to local density variations, together with the three baselines the
+// paper evaluates against (PBSM, synchronized R-tree, GIPSY).
+//
+// # Quickstart
+//
+//	a := transformers.GenerateUniform(100_000, 1)
+//	b := transformers.GenerateUniform(100_000, 2)
+//	ia, _ := transformers.BuildIndex(a, transformers.IndexOptions{})
+//	ib, _ := transformers.BuildIndex(b, transformers.IndexOptions{})
+//	res, _ := transformers.Join(ia, ib, transformers.JoinOptions{})
+//	fmt.Println(len(res.Pairs), "intersecting pairs")
+//
+// Indexes are built once per dataset and can be reused across joins with any
+// other indexed dataset — the adaptivity lives in the join, not in the
+// partitioning (paper §III).
+//
+// For cross-algorithm comparisons (the paper's experiments), use Run, which
+// executes any Algorithm end to end on raw elements and returns uniform cost
+// reports.
+package transformers
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Re-exported geometry types: the spatial join vocabulary.
+type (
+	// Point is a location in 3D space.
+	Point = geom.Point
+	// Box is an axis-aligned 3D box (an MBB).
+	Box = geom.Box
+	// Element is a spatial element: an application object approximated by
+	// its MBB, carrying an application-defined ID.
+	Element = geom.Element
+	// Pair is one join result: the IDs of two intersecting elements, A
+	// always from the first dataset of the join.
+	Pair = geom.Pair
+)
+
+// IndexOptions controls TRANSFORMERS index construction.
+type IndexOptions struct {
+	// PageSize is the disk page size in bytes; 8KB when zero (§VII-A).
+	PageSize int
+	// UnitCapacity caps elements per space unit; page capacity when zero.
+	UnitCapacity int
+	// NodeCapacity caps space units per space node; descriptor-page
+	// capacity when zero.
+	NodeCapacity int
+	// World bounds the partition regions; the dataset MBB when zero. Give
+	// all indexes that will be joined the same world for best walk
+	// behaviour (not required for correctness).
+	World Box
+	// Store overrides the backing page store (e.g. a storage.FileStore);
+	// an in-memory simulated disk when nil.
+	Store storage.Store
+}
+
+// Index is an indexed dataset ready for TRANSFORMERS joins.
+type Index struct {
+	core  *core.Index
+	store storage.Store
+	build BuildReport
+}
+
+// BuildReport describes the cost and shape of an index build.
+type BuildReport struct {
+	// Elements is the dataset size.
+	Elements int
+	// Units and Nodes count the hierarchy (§IV).
+	Units, Nodes int
+	// Wall is the elapsed build time (in-memory work).
+	Wall time.Duration
+	// IO is the build's storage traffic.
+	IO storage.Stats
+	// ModeledIOTime prices IO on the default disk model.
+	ModeledIOTime time.Duration
+}
+
+// BuildIndex indexes a dataset for TRANSFORMERS joins. The input slice is
+// reordered in place (STR order).
+func BuildIndex(elems []Element, opt IndexOptions) (*Index, error) {
+	st := opt.Store
+	if st == nil {
+		st = storage.NewMemStore(opt.PageSize)
+	}
+	idx, bs, err := core.BuildIndex(st, elems, core.IndexConfig{
+		UnitCapacity: opt.UnitCapacity,
+		NodeCapacity: opt.NodeCapacity,
+		World:        opt.World,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transformers: build index: %w", err)
+	}
+	return &Index{
+		core:  idx,
+		store: st,
+		build: BuildReport{
+			Elements:      idx.Len(),
+			Units:         idx.Units(),
+			Nodes:         idx.Nodes(),
+			Wall:          bs.Wall,
+			IO:            bs.IO,
+			ModeledIOTime: storage.DefaultDiskModel().IOTime(bs.IO),
+		},
+	}, nil
+}
+
+// BuildReport returns the index build report.
+func (idx *Index) BuildReport() BuildReport { return idx.build }
+
+// Len returns the number of indexed elements.
+func (idx *Index) Len() int { return idx.core.Len() }
+
+// JoinOptions controls a TRANSFORMERS join.
+type JoinOptions struct {
+	// DisableTransforms runs the static (No-TR) variant of §VII-D1.
+	DisableTransforms bool
+	// TSU and TSO override the initial transformation thresholds (defaults
+	// 8 and 27, §VII-D2); FixedThresholds disables runtime recalibration.
+	TSU, TSO        float64
+	FixedThresholds bool
+	// GuideB starts exploration with dataset B as the guide.
+	GuideB bool
+	// Disk prices page I/O for the cost model and the report;
+	// storage.DefaultDiskModel() when zero.
+	Disk storage.DiskModel
+	// CachePages sizes the per-dataset buffer pool of the join; 256 when
+	// zero.
+	CachePages int
+	// DiscardPairs skips collecting result pairs (benchmarks that only
+	// need counts).
+	DiscardPairs bool
+	// OnPair, when set, streams each result pair; pairs are still
+	// collected unless DiscardPairs is set.
+	OnPair func(a, b Element)
+}
+
+// JoinResult is the outcome of a join.
+type JoinResult struct {
+	// Pairs lists the intersecting element ID pairs (nil with
+	// JoinOptions.DiscardPairs).
+	Pairs []Pair
+	// Stats exposes the full cost counters of the run.
+	Stats core.JoinStats
+	// ModeledIOTime prices the join's I/O on the configured disk model;
+	// TotalTime = Stats.Wall + ModeledIOTime approximates the paper's
+	// disk-based join time.
+	ModeledIOTime time.Duration
+	TotalTime     time.Duration
+}
+
+// Join runs the TRANSFORMERS adaptive-exploration join between two indexed
+// datasets. Every intersecting pair is reported exactly once, with Pair.A
+// from index a and Pair.B from index b.
+func Join(a, b *Index, opt JoinOptions) (*JoinResult, error) {
+	res := &JoinResult{}
+	emit := func(x, y Element) {
+		if !opt.DiscardPairs {
+			res.Pairs = append(res.Pairs, Pair{A: x.ID, B: y.ID})
+		}
+		if opt.OnPair != nil {
+			opt.OnPair(x, y)
+		}
+	}
+	stats, err := core.Join(a.core, b.core, core.JoinConfig{
+		DisableTransforms: opt.DisableTransforms,
+		TSU:               opt.TSU,
+		TSO:               opt.TSO,
+		FixedThresholds:   opt.FixedThresholds,
+		GuideB:            opt.GuideB,
+		Disk:              opt.Disk,
+		CachePages:        opt.CachePages,
+	}, emit)
+	if err != nil {
+		return nil, fmt.Errorf("transformers: join: %w", err)
+	}
+	res.Stats = stats
+	disk := opt.Disk
+	if disk == (storage.DiskModel{}) {
+		disk = storage.DefaultDiskModel()
+	}
+	res.ModeledIOTime = disk.IOTime(stats.IO)
+	res.TotalTime = stats.Wall + res.ModeledIOTime
+	return res, nil
+}
+
+// World returns the default synthetic evaluation space (1000^3).
+func World() Box { return datagen.DefaultWorld() }
+
+// GenerateUniform returns n uniformly distributed box elements in the
+// default world (§VII-B), deterministically from seed.
+func GenerateUniform(n int, seed int64) []Element {
+	return datagen.Uniform(datagen.Config{N: n, Seed: seed})
+}
+
+// GenerateDenseCluster returns the DenseCluster distribution of §VII-B.
+func GenerateDenseCluster(n int, seed int64) []Element {
+	return datagen.DenseCluster(datagen.Config{N: n, Seed: seed})
+}
+
+// GenerateUniformCluster returns the UniformCluster distribution of §VII-B.
+func GenerateUniformCluster(n int, seed int64) []Element {
+	return datagen.UniformCluster(datagen.Config{N: n, Seed: seed})
+}
+
+// GenerateMassiveCluster returns the MassiveCluster distribution of §VII-B.
+func GenerateMassiveCluster(n int, seed int64) []Element {
+	return datagen.MassiveCluster(datagen.Config{N: n, Seed: seed})
+}
+
+// GenerateAxons returns n axon cylinder segments of the neuroscience-like
+// workload (§II-B, §VII-B), biased to the top of the volume.
+func GenerateAxons(n int, seed int64) []Element {
+	return datagen.Neuroscience(datagen.NeuroConfig{N: n, Seed: seed, Kind: datagen.Axon})
+}
+
+// GenerateDendrites returns n dendrite cylinder segments, biased to the
+// bottom of the volume.
+func GenerateDendrites(n int, seed int64) []Element {
+	return datagen.Neuroscience(datagen.NeuroConfig{N: n, Seed: seed, Kind: datagen.Dendrite})
+}
