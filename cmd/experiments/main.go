@@ -6,17 +6,27 @@
 //	experiments -list
 //	experiments -exp fig10
 //	experiments -exp all -scale 0.0005
+//	experiments -exp scaling -parallel 8
+//	experiments -exp all -json > BENCH_baseline.json
 //
 // Scale multiplies the paper's element counts (default 1/1000); absolute
 // times differ from the paper's 2016 testbed, the shapes (who wins, by what
 // factor) are what the run demonstrates. See EXPERIMENTS.md for recorded
 // results and the paper-vs-measured comparison.
+//
+// -parallel sets the TRANSFORMERS join worker count (default 1, the paper's
+// single-threaded execution; the scaling experiment sweeps its own counts).
+// -json suppresses the human tables (they go to stderr) and emits one JSON
+// document on stdout with per-experiment wall time and one sample per
+// algorithm execution, so perf trajectories can be tracked in BENCH_*.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -25,19 +35,67 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
 	scale := flag.Float64("scale", 0.001, "fraction of the paper's element counts")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 1, "TRANSFORMERS join worker count (1 = paper-faithful)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (tables go to stderr)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("available experiments:")
 		for _, e := range bench.Experiments() {
-			fmt.Printf("  %-12s %-22s %s\n", e.ID, e.Paper, e.Description)
+			fmt.Printf("  %-16s %-26s %s\n", e.ID, e.Paper, e.Description)
 		}
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Out: os.Stdout, Seed: *seed}
-	if err := bench.RunByID(*exp, cfg); err != nil {
+	if !*jsonOut {
+		cfg := bench.Config{Scale: *scale, Out: os.Stdout, Seed: *seed, Parallel: *parallel}
+		if err := bench.RunByID(*exp, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	type expResult struct {
+		ID      string         `json:"id"`
+		WallMS  float64        `json:"wall_ms"`
+		Samples []bench.Sample `json:"samples"`
+	}
+	doc := struct {
+		Scale       float64     `json:"scale"`
+		Seed        int64       `json:"seed"`
+		Parallel    int         `json:"parallel"`
+		Experiments []expResult `json:"experiments"`
+	}{Scale: *scale, Seed: *seed, Parallel: *parallel}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		res := expResult{ID: id, Samples: []bench.Sample{}}
+		cfg := bench.Config{
+			Scale:    *scale,
+			Out:      os.Stderr,
+			Seed:     *seed,
+			Parallel: *parallel,
+			Sink:     func(s bench.Sample) { res.Samples = append(res.Samples, s) },
+		}
+		start := time.Now()
+		if err := bench.RunByID(id, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		doc.Experiments = append(doc.Experiments, res)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}

@@ -11,12 +11,16 @@
 // Dataset specs are distribution:count with distributions uniform, dense
 // (DenseCluster), uniformcluster, massive (MassiveCluster), axons,
 // dendrites.
+//
+// The TRANSFORMERS join uses every core by default; -parallel 1 reproduces
+// the paper's single-threaded execution (identical pair sets either way).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,6 +33,8 @@ func main() {
 	specB := flag.String("b", "uniform:100000", "dataset B spec (distribution:count)")
 	seedA := flag.Int64("seed-a", 1, "dataset A seed")
 	seedB := flag.Int64("seed-b", 2, "dataset B seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"TRANSFORMERS join worker count (1 = paper-faithful single thread)")
 	verbose := flag.Bool("v", false, "print per-phase I/O detail")
 	flag.Parse()
 
@@ -47,7 +53,7 @@ func main() {
 		rep, err := transformers.Run(alg,
 			append([]transformers.Element(nil), a...),
 			append([]transformers.Element(nil), b...),
-			transformers.RunOptions{})
+			transformers.RunOptions{Join: transformers.JoinOptions{Parallelism: *parallel}})
 		fatalIf(err)
 		fmt.Printf("%-14s results=%-10d index: %-10v join: %v (in-mem %v + modeled I/O %v)\n",
 			alg, rep.Results, rep.BuildTotal.Round(1e5), rep.JoinTotal.Round(1e5),

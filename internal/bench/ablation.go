@@ -38,12 +38,12 @@ func runAblationDisk(cfg Config) error {
 	genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+22) }
 	t := &table{header: []string{"disk", "No TR", "TRANSFORMERS", "ratio", "tsu final"}}
 	for _, d := range ablationDisks() {
-		noTR, err := runAlgo(transformers.AlgoTransformers, genA, genB,
+		noTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
 			transformers.RunOptions{Disk: d.disk, Join: transformers.JoinOptions{DisableTransforms: true}})
 		if err != nil {
 			return err
 		}
-		withTR, err := runAlgo(transformers.AlgoTransformers, genA, genB,
+		withTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
 			transformers.RunOptions{Disk: d.disk})
 		if err != nil {
 			return err
@@ -65,7 +65,7 @@ func runAblationCache(cfg Config) error {
 	genB := func() []transformers.Element { return transformers.GenerateUniformCluster(n, cfg.Seed+24) }
 	t := &table{header: []string{"cache pages", "join total", "pages read", "random reads"}}
 	for _, pages := range []int{16, 64, 256, 1024, 4096} {
-		rep, err := runAlgo(transformers.AlgoTransformers, genA, genB,
+		rep, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
 			transformers.RunOptions{Join: transformers.JoinOptions{CachePages: pages}})
 		if err != nil {
 			return err
@@ -98,12 +98,14 @@ func runAblationGranularity(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := transformers.Join(ia, ib, transformers.JoinOptions{DiscardPairs: true})
+		res, err := transformers.Join(ia, ib, transformers.JoinOptions{DiscardPairs: true, Parallelism: cfg.Parallel})
 		if err != nil {
 			return err
 		}
 		t.addRow(fmt.Sprintf("%d", unitCap), count(uint64(ia.BuildReport().Units)),
 			dur(res.TotalTime), count(res.Stats.IO.Reads))
+		cfg.record(sampleFromJoin(fmt.Sprintf("%s/unitcap=%d", transformers.AlgoTransformers, unitCap),
+			cfg.Parallel, res))
 	}
 	t.write(cfg.Out)
 	fmt.Fprintln(cfg.Out, "\nsmall units read selectively but pay page-per-unit overhead (§VI-B:")

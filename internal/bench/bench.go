@@ -30,6 +30,18 @@ type Config struct {
 	Out io.Writer
 	// Seed offsets workload generation.
 	Seed int64
+	// Parallel sets the TRANSFORMERS join worker count the experiments use
+	// (0/1 = the paper-faithful single thread, so reproduced numbers stay
+	// comparable; the scaling experiment sweeps its own worker counts
+	// regardless).
+	Parallel int
+	// Sink, when set, receives one Sample per algorithm execution — the
+	// machine-readable feed behind `cmd/experiments -json`.
+	Sink func(Sample)
+
+	// experiment is the id currently running; runOne stamps it so samples
+	// carry their provenance.
+	experiment string
 }
 
 func (c Config) normalize() Config {
@@ -37,6 +49,73 @@ func (c Config) normalize() Config {
 		c.Scale = 0.001
 	}
 	return c
+}
+
+// Sample is the machine-readable record of one algorithm execution inside an
+// experiment: the paper's three join-phase metrics plus I/O detail, for
+// tracking the perf trajectory across PRs (BENCH_*.json).
+type Sample struct {
+	Experiment      string  `json:"experiment"`
+	Algorithm       string  `json:"algorithm"`
+	Parallel        int     `json:"parallel,omitempty"`
+	BuildTotalMS    float64 `json:"build_total_ms"`
+	JoinWallMS      float64 `json:"join_wall_ms"`
+	JoinIOTimeMS    float64 `json:"join_io_ms"`
+	JoinTotalMS     float64 `json:"join_total_ms"`
+	Comparisons     uint64  `json:"comparisons"`
+	MetaComparisons uint64  `json:"meta_comparisons"`
+	Results         uint64  `json:"results"`
+	Reads           uint64  `json:"io_reads"`
+	RandReads       uint64  `json:"io_rand_reads"`
+	BytesRead       uint64  `json:"io_bytes_read"`
+}
+
+// ms converts a duration to fractional milliseconds for JSON output.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// record forwards one sample to the sink, stamping the running experiment.
+func (c Config) record(s Sample) {
+	if c.Sink == nil {
+		return
+	}
+	s.Experiment = c.experiment
+	c.Sink(s)
+}
+
+// sampleFromJoin flattens one direct transformers.Join execution (no build
+// phase) into a Sample.
+func sampleFromJoin(algorithm string, parallel int, res *transformers.JoinResult) Sample {
+	return Sample{
+		Algorithm:       algorithm,
+		Parallel:        parallel,
+		JoinWallMS:      ms(res.Stats.Wall),
+		JoinIOTimeMS:    ms(res.ModeledIOTime),
+		JoinTotalMS:     ms(res.TotalTime),
+		Comparisons:     res.Stats.Comparisons,
+		MetaComparisons: res.Stats.MetaComparisons,
+		Results:         res.Stats.Results,
+		Reads:           res.Stats.IO.Reads,
+		RandReads:       res.Stats.IO.RandReads,
+		BytesRead:       res.Stats.IO.BytesRead,
+	}
+}
+
+// sampleFromReport flattens a run report into a Sample.
+func sampleFromReport(alg transformers.Algorithm, parallel int, rep *transformers.RunReport) Sample {
+	return Sample{
+		Algorithm:       string(alg),
+		Parallel:        parallel,
+		BuildTotalMS:    ms(rep.BuildTotal),
+		JoinWallMS:      ms(rep.JoinWall),
+		JoinIOTimeMS:    ms(rep.JoinIOTime),
+		JoinTotalMS:     ms(rep.JoinTotal),
+		Comparisons:     rep.Comparisons,
+		MetaComparisons: rep.MetaComps,
+		Results:         rep.Results,
+		Reads:           rep.JoinIO.Reads,
+		RandReads:       rep.JoinIO.RandReads,
+		BytesRead:       rep.JoinIO.BytesRead,
+	}
 }
 
 // scaled converts a paper element count to the run's element count.
@@ -162,6 +241,12 @@ func Experiments() []Experiment {
 			Description: "ablation: space-unit capacity sweep around the page-aligned default",
 			Run:         runAblationGranularity,
 		},
+		{
+			ID:          "scaling",
+			Paper:       "extension (parallel join)",
+			Description: "parallel speedup: TRANSFORMERS join wall time vs worker count, uniform and clustered data",
+			Run:         runScaling,
+		},
 	}
 }
 
@@ -190,6 +275,7 @@ func RunByID(id string, cfg Config) error {
 }
 
 func runOne(e Experiment, cfg Config) error {
+	cfg.experiment = e.ID
 	fmt.Fprintf(cfg.Out, "=== %s — %s ===\n%s\n(scale %g of the paper's element counts)\n\n",
 		e.ID, e.Paper, e.Description, cfg.Scale)
 	start := time.Now()
@@ -264,7 +350,22 @@ func count(n uint64) string {
 }
 
 // runAlgo is the shared "generate fresh data, run algorithm" step; data is
-// regenerated per run because partitioners reorder their inputs.
-func runAlgo(alg transformers.Algorithm, genA, genB func() []transformers.Element, opt transformers.RunOptions) (*transformers.RunReport, error) {
-	return transformers.Run(alg, genA(), genB(), opt)
+// regenerated per run because partitioners reorder their inputs. The
+// harness-wide Parallel knob applies to the TRANSFORMERS join unless the
+// experiment pinned its own worker count, and every execution feeds the
+// sample sink.
+func runAlgo(cfg Config, alg transformers.Algorithm, genA, genB func() []transformers.Element, opt transformers.RunOptions) (*transformers.RunReport, error) {
+	if opt.Join.Parallelism == 0 {
+		opt.Join.Parallelism = cfg.Parallel
+	}
+	rep, err := transformers.Run(alg, genA(), genB(), opt)
+	if err != nil {
+		return nil, err
+	}
+	parallel := 0
+	if alg == transformers.AlgoTransformers {
+		parallel = opt.Join.Parallelism
+	}
+	cfg.record(sampleFromReport(alg, parallel, rep))
+	return rep, nil
 }

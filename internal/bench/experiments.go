@@ -55,7 +55,7 @@ func runFig10(cfg Config) error {
 			genB := func() []transformers.Element {
 				return transformers.GenerateUniform(p.nB, cfg.Seed+int64(i)+100)
 			}
-			rep, err := runAlgo(alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
+			rep, err := runAlgo(cfg, alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
 			if err != nil {
 				return err
 			}
@@ -162,7 +162,7 @@ func runIndexPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tra
 		row := []string{count(uint64(n))}
 		for _, alg := range fig11Algos() {
 			genA, genB := gens(cfg, n)
-			rep, err := runAlgo(alg, genA, genB, opt)
+			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
@@ -187,7 +187,7 @@ func runJoinPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tran
 		row := []string{count(uint64(n))}
 		for _, alg := range fig11Algos() {
 			genA, genB := gens(cfg, n)
-			rep, err := runAlgo(alg, genA, genB, opt)
+			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
@@ -212,7 +212,7 @@ func runTestsPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tra
 		row := []string{count(uint64(n))}
 		for _, alg := range fig11Algos() {
 			genA, genB := gens(cfg, n)
-			rep, err := runAlgo(alg, genA, genB, opt)
+			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
@@ -242,7 +242,7 @@ func runTable1(cfg Config) error {
 		for _, alg := range algos {
 			genA := func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+5) }
 			genB := func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+6) }
-			rep, err := runAlgo(alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
+			rep, err := runAlgo(cfg, alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
 			if err != nil {
 				return err
 			}
@@ -262,12 +262,12 @@ func runFig13Left(cfg Config) error {
 		n := cfg.scaled(total * paperM / 2)
 		genA := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+7) }
 		genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+8) }
-		noTR, err := runAlgo(transformers.AlgoTransformers, genA, genB,
+		noTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
 			transformers.RunOptions{Join: transformers.JoinOptions{DisableTransforms: true}})
 		if err != nil {
 			return err
 		}
-		withTR, err := runAlgo(transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
+		withTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
 		if err != nil {
 			return err
 		}
@@ -315,7 +315,7 @@ func runFig13Right(cfg Config) error {
 	for _, w := range workloads {
 		row := []string{w.name}
 		for _, c := range configs {
-			rep, err := runAlgo(transformers.AlgoTransformers, w.genA, w.genB,
+			rep, err := runAlgo(cfg, transformers.AlgoTransformers, w.genA, w.genB,
 				transformers.RunOptions{Join: c.join})
 			if err != nil {
 				return err
@@ -336,7 +336,7 @@ func runFig14(cfg Config) error {
 		n := cfg.scaled(total * paperM / 2)
 		genA := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+15) }
 		genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+16) }
-		rep, err := runAlgo(transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
+		rep, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/storage"
@@ -56,6 +58,54 @@ type costModel struct {
 	// fine-grained (split) unit triggers — the I/O share of Tae.
 	fineRandReads uint64
 	fineUnits     uint64
+	// shared, when non-nil, links this model to the other workers of a
+	// parallel join: recalibrations publish the new thresholds, threshold
+	// reads load the latest global value, and filter feedback folds into a
+	// global cflt — so adaptation stays global even though measurement is
+	// per worker. Nil for the sequential join, whose behavior is untouched.
+	shared *sharedCalib
+}
+
+// atomicFloat64 is a float64 published through an atomic word.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat64) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// sharedCalib is the cross-worker cost-model state of a parallel join. The
+// thresholds and filter fraction are plain atomics: workers race to publish,
+// every reader sees some recently calibrated value, and no lock is taken on
+// the pivot-processing path. Threshold values only steer strategy (which
+// granularity to join at), never correctness, so benign races here cannot
+// change the result set.
+type sharedCalib struct {
+	tsu, tso, cflt atomicFloat64
+}
+
+// newSharedCalib seeds the shared state from a freshly initialized model.
+func newSharedCalib(m *costModel) *sharedCalib {
+	s := &sharedCalib{}
+	s.tsu.Store(m.tsu)
+	s.tso.Store(m.tso)
+	s.cflt.Store(m.cflt)
+	return s
+}
+
+// curTSU returns the node-split threshold currently in force: the globally
+// published value in a parallel join, the local one otherwise.
+func (m *costModel) curTSU() float64 {
+	if m.shared != nil {
+		return m.shared.tsu.Load()
+	}
+	return m.tsu
+}
+
+// curTSO returns the unit-split threshold currently in force.
+func (m *costModel) curTSO() float64 {
+	if m.shared != nil {
+		return m.shared.tso.Load()
+	}
+	return m.tso
 }
 
 func newCostModel(cfg JoinConfig, a, b *Index) *costModel {
@@ -124,7 +174,18 @@ func (m *costModel) observeFilter(skipped, total int) {
 		frac = 0.002 // keep the threshold finite when filtering fails
 	}
 	const alpha = 0.2
-	m.cflt = (1-alpha)*m.cflt + alpha*frac
+	base := m.cflt
+	if m.shared != nil {
+		// Fold into the global EMA so every worker's filter feedback shapes
+		// one shared estimate. The read-modify-write is not atomic as a unit;
+		// a lost update just weights the EMA slightly differently, which the
+		// moving average absorbs.
+		base = m.shared.cflt.Load()
+	}
+	m.cflt = (1-alpha)*base + alpha*frac
+	if m.shared != nil {
+		m.shared.cflt.Store(m.cflt)
+	}
 	m.observed = true
 	m.recalibrate()
 }
@@ -160,6 +221,10 @@ func (m *costModel) recalibrate() {
 	m.tsu = clampThreshold(tae / denom)
 	if m.nSU > 0 {
 		m.tso = clampThreshold(m.tsu * m.nSO / m.nSU)
+	}
+	if m.shared != nil {
+		m.shared.tsu.Store(m.tsu)
+		m.shared.tso.Store(m.tso)
 	}
 }
 

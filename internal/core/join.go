@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -9,6 +11,10 @@ import (
 	"repro/internal/storage"
 	"repro/internal/sweep"
 )
+
+// DefaultCachePages sizes the per-dataset (and, in parallel joins,
+// per-worker) buffer pool when JoinConfig.CachePages is zero.
+const DefaultCachePages = 256
 
 // JoinConfig controls the adaptive exploration join.
 type JoinConfig struct {
@@ -37,6 +43,17 @@ type JoinConfig struct {
 	// MaxWalkSteps bounds one directed walk defensively; 4x the follower's
 	// descriptor count when zero.
 	MaxWalkSteps int
+	// Parallelism sets the number of worker goroutines processing pivot
+	// nodes. 0 or 1 run the single-threaded join — byte-for-byte the
+	// paper-faithful sequential execution. Values > 1 split the guide's
+	// pivot nodes into that many contiguous Hilbert-order chunks, each
+	// processed by a worker with private walker state, scratch buffers,
+	// buffer pool and cost-model measurements (thresholds stay globally
+	// shared through atomics); a negative value uses runtime.GOMAXPROCS(0).
+	// When more than one worker runs, the join's emit callback may be
+	// invoked from multiple goroutines concurrently and must be safe for
+	// that; each CachePages-sized buffer pool is per worker per side.
+	Parallelism int
 }
 
 // JoinStats reports the cost of one join.
@@ -91,12 +108,25 @@ type side struct {
 	// pivot is processed at a finer layout, for the cflt feedback.
 	readMark  []uint32
 	readEpoch uint32
+	// scoped/scopeBox bound the side's unchecked universe when restrictTo
+	// limited it to one worker's chunk: scopeBox is the union of the
+	// in-span nodes' PageMBBs, so any pivot of the other side that misses
+	// it cannot join anything this side still owns. After a role switch
+	// the worker's pivot loop sweeps the whole (unrestricted) other
+	// dataset; this box prunes the sweep's far-away pivots to one box test
+	// instead of a walk plus crawl each, keeping cross-worker duplicated
+	// exploration bounded. Sequential runs never set it.
+	scoped   bool
+	scopeBox geom.Box
 }
 
-func newSide(idx *Index, cachePages int, isA bool) *side {
+// newSide assembles per-run dataset state reading through base (the index's
+// own store for the sequential join, a private concurrent reader for each
+// parallel worker).
+func newSide(idx *Index, base storage.Store, cachePages int, isA bool) *side {
 	return &side{
 		idx:        idx,
-		st:         storage.NewLRU(idx.st, cachePages),
+		st:         storage.NewLRU(base, cachePages),
 		checked:    make([]bool, len(idx.nodes)),
 		remaining:  len(idx.nodes),
 		lastUnit:   -1,
@@ -125,6 +155,30 @@ func (s *side) markChecked(n int32) {
 		s.checked[n] = true
 		s.remaining--
 	}
+}
+
+// restrictTo limits the side's pivot universe to the nodeOrder span [lo, hi):
+// every out-of-span node is pre-marked checked, exactly as if another worker
+// had already processed it as a pivot — crawls skip it and the pairs it is
+// involved in are left to the worker owning its span. Running the unmodified
+// sequential algorithm over the restricted universe therefore emits exactly
+// the intersecting pairs (a, b) with a inside the span, each exactly once,
+// and the union over the disjoint spans of a parallel join is exactly the
+// sequential result set.
+func (s *side) restrictTo(lo, hi int) {
+	for i := range s.checked {
+		s.checked[i] = true
+	}
+	box := geom.EmptyBox()
+	for k := lo; k < hi; k++ {
+		n := s.idx.nodeOrder[k]
+		s.checked[n] = false
+		box = box.Union(s.idx.nodes[n].PageMBB)
+	}
+	s.remaining = hi - lo
+	s.cursor = lo
+	s.scoped = true
+	s.scopeBox = box
 }
 
 // nodeStart picks the walk start for a target: the B+-tree's nearest node by
@@ -213,24 +267,23 @@ type joinRun struct {
 	stats   JoinStats
 	emit    func(a, b geom.Element)
 	maxWalk [2]int // per side, bounds walks over that side's graphs
+	// stop, when set (parallel runs), is the fleet-wide abort flag: a worker
+	// that fails raises it and the others bail at their next pivot instead
+	// of finishing whole chunks after the join is already lost.
+	stop *atomic.Bool
 }
 
-// Join executes TRANSFORMERS' adaptive exploration between two indexed
-// datasets, emitting every intersecting element pair (a from ia, b from ib)
-// exactly once, regardless of internal role switching.
-func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStats, error) {
-	var r joinRun
-	r.cfg = cfg
-	r.emit = emit
-	if ia.size == 0 || ib.size == 0 || len(ia.nodes) == 0 || len(ib.nodes) == 0 {
-		return r.stats, nil
-	}
+// newJoinRun assembles one run's state: sides reading through stA/stB, the
+// cost model, read-through gaps and walk bounds. The sequential join passes
+// the indexes' own stores; each parallel worker passes its private readers.
+func newJoinRun(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element), stA, stB storage.Store) *joinRun {
+	r := &joinRun{cfg: cfg, emit: emit}
 	cachePages := cfg.CachePages
 	if cachePages <= 0 {
-		cachePages = 256
+		cachePages = DefaultCachePages
 	}
-	r.sides[0] = newSide(ia, cachePages, true)
-	r.sides[1] = newSide(ib, cachePages, false)
+	r.sides[0] = newSide(ia, stA, cachePages, true)
+	r.sides[1] = newSide(ib, stB, cachePages, false)
 	r.model = newCostModel(cfg, ia, ib)
 	for _, s := range r.sides {
 		s.readThroughGap = storage.PageID(r.model.seek / (m2s(s.idx.st.PageSize(), cfg) + 1e-12))
@@ -244,6 +297,46 @@ func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStat
 			r.maxWalk[i] = 4 * (len(s.idx.units) + len(s.idx.nodes))
 		}
 	}
+	return r
+}
+
+// loop drives the pivot loop of Algorithm 2 until either side's unchecked
+// universe is exhausted, following role switches as they happen.
+func (r *joinRun) loop(g, f int) error {
+	for r.sides[g].remaining > 0 && r.sides[f].remaining > 0 {
+		if r.stop != nil && r.stop.Load() {
+			return nil
+		}
+		pn := r.sides[g].nextUnchecked()
+		switched, err := r.processPivot(g, f, pn)
+		if err != nil {
+			return err
+		}
+		if switched {
+			g, f = f, g
+		}
+	}
+	return nil
+}
+
+// Join executes TRANSFORMERS' adaptive exploration between two indexed
+// datasets, emitting every intersecting element pair (a from ia, b from ib)
+// exactly once, regardless of internal role switching. With
+// cfg.Parallelism > 1 the pivots are processed by concurrent workers and
+// emit may be called from multiple goroutines; the result pair set is
+// identical to the sequential join's.
+func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStats, error) {
+	if ia.size == 0 || ib.size == 0 || len(ia.nodes) == 0 || len(ib.nodes) == 0 {
+		return JoinStats{}, nil
+	}
+	if cfg.Parallelism < 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Parallelism > 1 {
+		return joinParallel(ia, ib, cfg, emit)
+	}
+
+	r := newJoinRun(ia, ib, cfg, emit, ia.st, ib.st)
 
 	start := time.Now()
 	beforeA := ia.st.Stats()
@@ -257,15 +350,8 @@ func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStat
 	if cfg.GuideB {
 		g, f = 1, 0
 	}
-	for r.sides[g].remaining > 0 && r.sides[f].remaining > 0 {
-		pn := r.sides[g].nextUnchecked()
-		switched, err := r.processPivot(g, f, pn)
-		if err != nil {
-			return r.stats, err
-		}
-		if switched {
-			g, f = f, g
-		}
+	if err := r.loop(g, f); err != nil {
+		return r.stats, err
 	}
 
 	r.stats.Wall = time.Since(start)
@@ -311,6 +397,16 @@ func (r *joinRun) processPivot(g, f int, pn int32) (switched bool, err error) {
 	pivot := &G.idx.nodes[pn]
 	target := pivot.PageMBB
 
+	if F.scoped && !target.Intersects(F.scopeBox) {
+		// The follower's unchecked universe (this worker's chunk, after a
+		// role switch) lies entirely outside the pivot's data bound: no
+		// pair is possible, and pairs with checked follower nodes belong to
+		// the workers owning them.
+		r.stats.MetaComparisons++
+		G.markChecked(pn)
+		return false, nil
+	}
+
 	t0 := time.Now()
 	wres := F.nodeWalker.walk(nodeGraph{F.idx}, F.nodeStart(target), target, r.maxWalk[f])
 	tracef("pivot side=%d node=%d found=%d", g, pn, wres.found)
@@ -330,7 +426,7 @@ func (r *joinRun) processPivot(g, f int, pn int32) (switched bool, err error) {
 	if !r.cfg.DisableTransforms {
 		fn := &F.idx.nodes[wres.found]
 		ratio := densityRatio(pivot.PageMBB.Volume(), pivot.Count, fn.PageMBB.Volume(), fn.Count)
-		if ratio <= 1/r.model.tsu && !F.checked[wres.found] {
+		if ratio <= 1/r.model.curTSU() && !F.checked[wres.found] {
 			// Role transformation (Eq. 5): the follower is locally sparser;
 			// it becomes the guide and the node found near the old pivot
 			// becomes the new pivot, immediately processed at the finer
@@ -347,7 +443,7 @@ func (r *joinRun) processPivot(g, f int, pn int32) (switched bool, err error) {
 			F.markChecked(wres.found)
 			return true, nil
 		}
-		if ratio >= r.model.tsu {
+		if ratio >= r.model.curTSU() {
 			// Data layout transformation (Eq. 4): split the pivot node
 			// into space units.
 			r.stats.NodeSplits++
@@ -483,7 +579,11 @@ func (r *joinRun) processNodeAtUnitLevel(g, f int, pn int32) error {
 	wouldRead := len(wouldF)
 	F.beginReadTally()
 	distinctRead := 0
-	randBefore := F.idx.st.Stats().RandReads
+	// The delta is taken on the side's own store view: sequentially that is
+	// the LRU over the index store (same counters as idx.st), and in a
+	// parallel worker it is the private reader — the only place this
+	// worker's reads are counted, and safe to read without synchronization.
+	randBefore := F.st.Stats().RandReads
 
 	var gElems []geom.Element
 	for _, ui := range pivot.Units {
@@ -507,7 +607,7 @@ func (r *joinRun) processNodeAtUnitLevel(g, f int, pn int32) error {
 		if !r.cfg.DisableTransforms {
 			fu := &F.idx.units[wres.found]
 			ratio := densityRatio(u.PageMBB.Volume(), u.Count, fu.PageMBB.Volume(), fu.Count)
-			if ratio >= r.model.tso {
+			if ratio >= r.model.curTSO() {
 				// Finest-grained transformation (Eq. 8): split the unit
 				// into its spatial elements.
 				r.stats.UnitSplits++
@@ -568,7 +668,7 @@ func (r *joinRun) processNodeAtUnitLevel(g, f int, pn int32) error {
 	// fraction (the fine-grained layout avoided reading
 	// wouldRead-distinctRead of the pages coarse processing would touch) and
 	// the random accesses the finer batches paid for it.
-	r.model.observeFineIO(F.idx.st.Stats().RandReads-randBefore, len(pivot.Units))
+	r.model.observeFineIO(F.st.Stats().RandReads-randBefore, len(pivot.Units))
 	r.model.observeFilter(wouldRead-distinctRead, wouldRead)
 	return nil
 }

@@ -19,6 +19,11 @@ import (
 const maxCells = 1 << 22
 
 // Grid is a uniform spatial hash over one element set.
+//
+// A Grid is confined to one goroutine: Probe mutates the Comparisons
+// counter. The parallel TRANSFORMERS join relies on this layout — every
+// worker builds its own grids (Join constructs a private one per call), so
+// comparison counting needs no atomics and stays off the shared-memory bus.
 type Grid struct {
 	origin   geom.Point
 	cellSize [3]float64

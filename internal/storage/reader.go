@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrReadOnly is returned by writes and allocations on a store reader.
+var ErrReadOnly = errors.New("storage: store reader is read-only")
+
+// ReaderOpener is implemented by stores that can hand out independent
+// read-only views for concurrent use. Each view carries its own I/O counters
+// and its own sequential/random classification stream — the right model for
+// one worker owning one disk queue: interleaved reads from other workers do
+// not turn a worker's sequential scan into "random" accesses, and no lock
+// sits on the page-read hot path.
+//
+// A reader is valid only while the parent store is not concurrently written
+// to or grown (Alloc); the join phase is read-only, which is exactly the
+// phase the parallel join fans out.
+type ReaderOpener interface {
+	// OpenReader returns a read-only Store view over the current contents.
+	// Write and Alloc on the view fail with ErrReadOnly.
+	OpenReader() Store
+}
+
+// OpenReaders returns n stores that can serve reads concurrently over st,
+// each with independent I/O counters starting at zero. Stores implementing
+// ReaderOpener (MemStore, FileStore) hand out native lock-free views; any
+// other Store is serialized behind one shared mutex, preserving correctness
+// for implementations that predate the concurrency contract.
+func OpenReaders(st Store, n int) []Store {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Store, n)
+	if ro, ok := st.(ReaderOpener); ok {
+		for i := range out {
+			out[i] = ro.OpenReader()
+		}
+		return out
+	}
+	mu := new(sync.Mutex)
+	for i := range out {
+		out[i] = &lockedReader{st: st, mu: mu}
+	}
+	return out
+}
+
+// memReader is a lock-free read-only view of a MemStore. Page contents are
+// shared with the parent (reads copy out of the page slices), so views cost
+// O(1) memory each.
+type memReader struct {
+	pages    [][]byte
+	pageSize int
+	trk      tracker
+}
+
+// OpenReader implements ReaderOpener.
+func (m *MemStore) OpenReader() Store {
+	return &memReader{pages: m.pages, pageSize: m.pageSize}
+}
+
+func (r *memReader) PageSize() int { return r.pageSize }
+
+func (r *memReader) Alloc(int) (PageID, error) { return 0, ErrReadOnly }
+
+func (r *memReader) Write(PageID, []byte) error { return ErrReadOnly }
+
+func (r *memReader) Read(id PageID, buf []byte) error {
+	if len(buf) != r.pageSize {
+		return ErrPageSize
+	}
+	if int(id) >= len(r.pages) {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, len(r.pages))
+	}
+	copy(buf, r.pages[id])
+	r.trk.noteRead(id, len(buf))
+	return nil
+}
+
+func (r *memReader) NumPages() int { return len(r.pages) }
+
+func (r *memReader) Stats() Stats { return r.trk.stats }
+
+func (r *memReader) ResetStats() { r.trk.reset() }
+
+// fileReader is a read-only view of a FileStore. os.File.ReadAt is safe for
+// concurrent use, so reads take no lock; the page count is snapshotted at
+// open time.
+type fileReader struct {
+	f        *os.File
+	pageSize int
+	numPages int
+	trk      tracker
+}
+
+// OpenReader implements ReaderOpener.
+func (s *FileStore) OpenReader() Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &fileReader{f: s.f, pageSize: s.pageSize, numPages: s.numPages}
+}
+
+func (r *fileReader) PageSize() int { return r.pageSize }
+
+func (r *fileReader) Alloc(int) (PageID, error) { return 0, ErrReadOnly }
+
+func (r *fileReader) Write(PageID, []byte) error { return ErrReadOnly }
+
+func (r *fileReader) Read(id PageID, buf []byte) error {
+	if len(buf) != r.pageSize {
+		return ErrPageSize
+	}
+	if int(id) >= r.numPages {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, r.numPages)
+	}
+	if _, err := r.f.ReadAt(buf, int64(id)*int64(r.pageSize)); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	r.trk.noteRead(id, len(buf))
+	return nil
+}
+
+func (r *fileReader) NumPages() int { return r.numPages }
+
+func (r *fileReader) Stats() Stats { return r.trk.stats }
+
+func (r *fileReader) ResetStats() { r.trk.reset() }
+
+// lockedReader serializes reads over a store with no native concurrent view
+// support. Counters are still per-reader (the tracker is touched only by the
+// owning worker), so I/O attribution matches the lock-free readers; the
+// wrapped store's own counters advance as well, which is harmless since the
+// parallel join reports reader counters only.
+type lockedReader struct {
+	st  Store
+	mu  *sync.Mutex
+	trk tracker
+}
+
+func (r *lockedReader) PageSize() int { return r.st.PageSize() }
+
+func (r *lockedReader) Alloc(int) (PageID, error) { return 0, ErrReadOnly }
+
+func (r *lockedReader) Write(PageID, []byte) error { return ErrReadOnly }
+
+func (r *lockedReader) Read(id PageID, buf []byte) error {
+	r.mu.Lock()
+	err := r.st.Read(id, buf)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	r.trk.noteRead(id, len(buf))
+	return nil
+}
+
+func (r *lockedReader) NumPages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st.NumPages()
+}
+
+func (r *lockedReader) Stats() Stats { return r.trk.stats }
+
+func (r *lockedReader) ResetStats() { r.trk.reset() }

@@ -85,9 +85,11 @@ func (s Stats) String() string {
 		s.Reads, s.SeqReads, s.RandReads, s.Writes, s.SeqWrites, s.RandWrites, s.BytesRead, s.BytesWritten)
 }
 
-// Store is a page-granular storage device. Implementations must be safe for
-// use from a single goroutine; the join algorithms in this repository are
-// single-threaded like the paper's C++ implementations.
+// Store is a page-granular storage device. A Store itself only needs to be
+// safe for use from a single goroutine (the I/O trackers are unsynchronized);
+// concurrent consumers — the parallel TRANSFORMERS join in particular — take
+// independent read-only views via OpenReaders, each with its own counters and
+// no lock on the read path.
 type Store interface {
 	// PageSize returns the fixed page size in bytes.
 	PageSize() int

@@ -125,6 +125,7 @@ func Run(alg Algorithm, a, b []Element, opt RunOptions) (*RunReport, error) {
 		rep.BuildWall = bsA.Wall + bsB.Wall
 		rep.BuildIO = bsA.IO.Add(bsB.IO)
 		rep.IndexedPages = stA.NumPages() + stB.NumPages()
+		joinEmit := serializeEmit(opt.Join.Parallelism, opt.CollectPairs, emit)
 		js, err := core.Join(ia, ib, core.JoinConfig{
 			DisableTransforms: opt.Join.DisableTransforms,
 			TSU:               opt.Join.TSU,
@@ -133,7 +134,8 @@ func Run(alg Algorithm, a, b []Element, opt RunOptions) (*RunReport, error) {
 			GuideB:            opt.Join.GuideB,
 			Disk:              disk,
 			CachePages:        opt.Join.CachePages,
-		}, emit)
+			Parallelism:       opt.Join.Parallelism,
+		}, joinEmit)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ package transformers
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -142,6 +143,15 @@ type JoinOptions struct {
 	// OnPair, when set, streams each result pair; pairs are still
 	// collected unless DiscardPairs is set.
 	OnPair func(a, b Element)
+	// Parallelism sets the number of worker goroutines of the join. 0 or 1
+	// run the single-threaded, paper-faithful algorithm (the default, so
+	// reproduction numbers stay comparable to the paper); values > 1 split
+	// the pivot nodes into contiguous Hilbert-order chunks processed
+	// concurrently, and a negative value uses runtime.GOMAXPROCS(0). The
+	// result pair set is identical at every setting. With more than one
+	// worker, pair collection and OnPair delivery are serialized internally,
+	// so OnPair never runs concurrently with itself.
+	Parallelism int
 }
 
 // JoinResult is the outcome of a join.
@@ -158,19 +168,39 @@ type JoinResult struct {
 	TotalTime     time.Duration
 }
 
+// serializeEmit adapts an emit callback to the join's parallelism: workers
+// emit concurrently, so a consuming callback is serialized behind a mutex
+// and a non-consuming one is replaced by a lock-free no-op. Single-threaded
+// joins pass through untouched.
+func serializeEmit(parallelism int, consumes bool, emit func(a, b Element)) func(a, b Element) {
+	if parallelism >= 0 && parallelism <= 1 {
+		return emit
+	}
+	if !consumes {
+		return func(Element, Element) {}
+	}
+	var mu sync.Mutex
+	return func(x, y Element) {
+		mu.Lock()
+		emit(x, y)
+		mu.Unlock()
+	}
+}
+
 // Join runs the TRANSFORMERS adaptive-exploration join between two indexed
 // datasets. Every intersecting pair is reported exactly once, with Pair.A
 // from index a and Pair.B from index b.
 func Join(a, b *Index, opt JoinOptions) (*JoinResult, error) {
 	res := &JoinResult{}
-	emit := func(x, y Element) {
-		if !opt.DiscardPairs {
-			res.Pairs = append(res.Pairs, Pair{A: x.ID, B: y.ID})
-		}
-		if opt.OnPair != nil {
-			opt.OnPair(x, y)
-		}
-	}
+	emit := serializeEmit(opt.Parallelism, !opt.DiscardPairs || opt.OnPair != nil,
+		func(x, y Element) {
+			if !opt.DiscardPairs {
+				res.Pairs = append(res.Pairs, Pair{A: x.ID, B: y.ID})
+			}
+			if opt.OnPair != nil {
+				opt.OnPair(x, y)
+			}
+		})
 	stats, err := core.Join(a.core, b.core, core.JoinConfig{
 		DisableTransforms: opt.DisableTransforms,
 		TSU:               opt.TSU,
@@ -179,6 +209,7 @@ func Join(a, b *Index, opt JoinOptions) (*JoinResult, error) {
 		GuideB:            opt.GuideB,
 		Disk:              opt.Disk,
 		CachePages:        opt.CachePages,
+		Parallelism:       opt.Parallelism,
 	}, emit)
 	if err != nil {
 		return nil, fmt.Errorf("transformers: join: %w", err)

@@ -152,3 +152,52 @@ func TestGenerators(t *testing.T) {
 		t.Fatalf("world volume: %v", World().Volume())
 	}
 }
+
+func TestJoinParallelism(t *testing.T) {
+	a := GenerateUniform(4000, 5)
+	b := GenerateMassiveCluster(4000, 6)
+	want := naive.Join(a, b)
+	ia, err := BuildIndex(append([]Element(nil), a...), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := BuildIndex(append([]Element(nil), b...), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Join(ia, ib, JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 2, 8} {
+		streamed := 0
+		res, err := Join(ia, ib, JoinOptions{
+			Parallelism: workers,
+			OnPair:      func(Element, Element) { streamed++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !naive.Equal(append([]Pair(nil), res.Pairs...), want) {
+			t.Fatalf("Parallelism=%d disagrees with naive", workers)
+		}
+		if res.Stats.Results != seq.Stats.Results {
+			t.Fatalf("Parallelism=%d Results=%d, sequential=%d", workers, res.Stats.Results, seq.Stats.Results)
+		}
+		// OnPair delivery is serialized, so the plain counter is exact.
+		if uint64(streamed) != res.Stats.Results {
+			t.Fatalf("Parallelism=%d streamed %d of %d", workers, streamed, res.Stats.Results)
+		}
+	}
+
+	// Run facade: parallel pair collection matches too.
+	rep, err := Run(AlgoTransformers,
+		append([]Element(nil), a...), append([]Element(nil), b...),
+		RunOptions{CollectPairs: true, Join: JoinOptions{Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(append([]Pair(nil), rep.Pairs...), want) {
+		t.Fatal("Run with Parallelism=4 disagrees with naive")
+	}
+}
