@@ -1,0 +1,95 @@
+// Command spatialjoind is the spatial join daemon: a long-lived HTTP service
+// over the TRANSFORMERS index catalog. Datasets are uploaded (or generated
+// server-side) and indexed once; joins, distance joins and range queries then
+// run against the built indexes, with result caching, bounded join
+// concurrency, and streaming NDJSON output for large pair sets.
+//
+// Usage:
+//
+//	spatialjoind -addr :8080
+//	spatialjoind -addr :8080 -join-workers 4 -parallel -1 -cache-entries 256
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST /datasets       upload {"name","elements":[...]} or generate
+//	                     {"name","generate":{"kind","n","seed"}}; builds the index
+//	POST /join           {"a","b","stream"?,"include_pairs"?,"parallelism"?}
+//	POST /join/distance  same plus "distance": d (Chebyshev, §VIII)
+//	POST /query/range    {"dataset","box":{"lo":[x,y,z],"hi":[x,y,z]},"stream"?}
+//	GET  /healthz        liveness
+//	GET  /stats          catalog / cache / pool counters
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (bounded by -shutdown-timeout), new connections are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pageSize := flag.Int("page-size", 0, "index page size in bytes (0 = 8KB default)")
+	maxIndexes := flag.Int("max-indexes", 0, "max built indexes kept before LRU eviction (0 = default)")
+	cacheEntries := flag.Int("cache-entries", 0, "join result cache entries (0 = default)")
+	cacheMaxPairs := flag.Int("cache-max-pairs", 0, "largest result size the cache stores (0 = default)")
+	joinWorkers := flag.Int("join-workers", 0, "max concurrently executing joins and index builds (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "max queued joins before 503 (0 = default, negative = unbounded; use 1 for near-immediate backpressure)")
+	parallel := flag.Int("parallel", 1, "default per-join worker count (negative = all cores)")
+	maxGenerate := flag.Int("max-generate", 0, "largest server-side generated dataset (0 = default 5M elements)")
+	maxBody := flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = default 256MB)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	svc := server.NewService(server.Config{
+		PageSize:            *pageSize,
+		MaxIndexes:          *maxIndexes,
+		CacheEntries:        *cacheEntries,
+		CacheMaxPairs:       *cacheMaxPairs,
+		Workers:             *joinWorkers,
+		MaxQueue:            *maxQueue,
+		Parallelism:         *parallel,
+		MaxGenerateElements: *maxGenerate,
+		MaxBodyBytes:        *maxBody,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spatialjoind listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (grace %v)", *shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
+	log.Printf("bye")
+}

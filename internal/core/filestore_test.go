@@ -1,0 +1,90 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+// TestFileStoreJoinRoundTrip builds indexes on real file-backed stores,
+// reopens them through storage.OpenReaders (directly for a range query, and
+// via the parallel join, whose workers read through reader views), and
+// asserts every result matches the in-memory store byte for byte. This is
+// the gate that the file path and the simulated-disk path run the same
+// system.
+func TestFileStoreJoinRoundTrip(t *testing.T) {
+	a := datagen.DenseCluster(datagen.Config{N: 4000, Seed: 71})
+	b := datagen.Uniform(datagen.Config{N: 4000, Seed: 72})
+	want := naive.Join(a, b)
+
+	dir := t.TempDir()
+	fsA, err := storage.NewFileStore(filepath.Join(dir, "a.pages"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsA.Close()
+	fsB, err := storage.NewFileStore(filepath.Join(dir, "b.pages"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsB.Close()
+
+	cfg := IndexConfig{World: datagen.DefaultWorld()}
+	ia, _, err := BuildIndex(fsA, append([]geom.Element(nil), a...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _, err := BuildIndex(fsB, append([]geom.Element(nil), b...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ia.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run on the in-memory simulated disk.
+	memPairs, memStats := joinPairs(t, a, b, cfg, JoinConfig{})
+
+	for _, tc := range []struct {
+		name string
+		cfg  JoinConfig
+	}{
+		{"sequential", JoinConfig{}},
+		{"concurrent-readers", JoinConfig{Concurrent: true}},
+		{"parallel-4", JoinConfig{Parallelism: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var pairs []geom.Pair
+			stats, err := Join(ia, ib, tc.cfg, func(x, y geom.Element) {
+				pairs = append(pairs, geom.Pair{A: x.ID, B: y.ID})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !naive.Equal(pairs, append([]geom.Pair(nil), want...)) {
+				t.Fatalf("file-store join disagrees with naive: %d vs %d pairs", len(pairs), len(want))
+			}
+			if stats.Results != memStats.Results {
+				t.Fatalf("file results = %d, mem results = %d", stats.Results, memStats.Results)
+			}
+			if !naive.Equal(pairs, append([]geom.Pair(nil), memPairs...)) {
+				t.Fatal("file-store pair set differs from mem-store pair set")
+			}
+		})
+	}
+
+	// Direct OpenReaders reopen: a range query reads the file pages through
+	// a fresh reader view and must see exactly the stored elements.
+	q := geom.BoxAround(geom.Point{500, 500, 500}, geom.Point{120, 120, 120})
+	got, _, err := ia.RangeQuery(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(naiveRange(a, q)) {
+		t.Fatalf("file-store range query: %d results, want %d", len(got), len(naiveRange(a, q)))
+	}
+}

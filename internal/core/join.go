@@ -54,6 +54,14 @@ type JoinConfig struct {
 	// invoked from multiple goroutines concurrently and must be safe for
 	// that; each CachePages-sized buffer pool is per worker per side.
 	Parallelism int
+	// Concurrent marks the indexes as shared with other goroutines (the
+	// serving layer runs many joins and range queries over one catalog
+	// index concurrently). Page reads then go through private
+	// storage.OpenReaders views instead of the indexes' own stores, whose
+	// I/O trackers are unsynchronized. Results are identical; only the
+	// sequential/random classification stream starts fresh per join.
+	// Parallel joins (Parallelism > 1) always read through private views.
+	Concurrent bool
 }
 
 // JoinStats reports the cost of one join.
@@ -336,14 +344,27 @@ func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStat
 		return joinParallel(ia, ib, cfg, emit)
 	}
 
-	r := newJoinRun(ia, ib, cfg, emit, ia.st, ib.st)
+	// Default: read through the indexes' own stores (their counters keep
+	// accumulating, matching the seed's accounting). A Concurrent join takes
+	// private reader views instead, so simultaneous joins and range queries
+	// over shared indexes never touch the same unsynchronized tracker.
+	stA, stB := ia.st, ib.st
+	if cfg.Concurrent {
+		stA = storage.OpenReaders(ia.st, 1)[0]
+		if ia.st == ib.st {
+			stB = stA
+		} else {
+			stB = storage.OpenReaders(ib.st, 1)[0]
+		}
+	}
+	r := newJoinRun(ia, ib, cfg, emit, stA, stB)
 
 	start := time.Now()
-	beforeA := ia.st.Stats()
-	shared := ia.st == ib.st
+	beforeA := stA.Stats()
+	shared := stA == stB
 	var beforeB storage.Stats
 	if !shared {
-		beforeB = ib.st.Stats()
+		beforeB = stB.Stats()
 	}
 
 	g, f := 0, 1
@@ -355,9 +376,9 @@ func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStat
 	}
 
 	r.stats.Wall = time.Since(start)
-	r.stats.IO = ia.st.Stats().Sub(beforeA)
+	r.stats.IO = stA.Stats().Sub(beforeA)
 	if !shared {
-		r.stats.IO = r.stats.IO.Add(ib.st.Stats().Sub(beforeB))
+		r.stats.IO = r.stats.IO.Add(stB.Stats().Sub(beforeB))
 	}
 	r.stats.TSUFinal = r.model.tsu
 	r.stats.TSOFinal = r.model.tso

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/transformers"
+)
+
+// Cache defaults.
+const (
+	// DefaultCacheEntries caps the number of cached join results.
+	DefaultCacheEntries = 128
+	// DefaultCacheMaxPairs caps the result size one cache entry may hold;
+	// larger results are recomputed rather than pinned in memory.
+	DefaultCacheMaxPairs = 1 << 20
+)
+
+// JoinKey identifies one join result: the dataset pair (order matters — it
+// fixes the A/B orientation of the pairs), the predicate, the distance
+// parameter, and the dataset versions at execution time. Replacing a dataset
+// bumps its version, so stale results can never be served; they age out of
+// the LRU order naturally.
+type JoinKey struct {
+	A, B               string
+	VersionA, VersionB uint64
+	Predicate          string // "intersects" or "distance"
+	Distance           float64
+}
+
+// JoinSummary is the cost summary the service reports (and caches) per join.
+type JoinSummary struct {
+	Results         uint64  `json:"results"`
+	Comparisons     uint64  `json:"comparisons"`
+	MetaComparisons uint64  `json:"meta_comparisons"`
+	JoinWallMS      float64 `json:"join_wall_ms"`
+	ModeledIOMS     float64 `json:"modeled_io_ms"`
+	Reads           uint64  `json:"io_reads"`
+}
+
+// CachedJoin is one cached result.
+type CachedJoin struct {
+	Pairs   []transformers.Pair
+	Summary JoinSummary
+}
+
+// JoinCache is a concurrency-safe LRU of join results.
+type JoinCache struct {
+	mu       sync.Mutex
+	capacity int
+	maxPairs int
+	entries  map[JoinKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key JoinKey
+	res *CachedJoin
+}
+
+// CacheStats is a snapshot of cache activity.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// NewJoinCache returns an LRU join cache. capacity <= 0 selects
+// DefaultCacheEntries; maxPairs <= 0 selects DefaultCacheMaxPairs.
+func NewJoinCache(capacity, maxPairs int) *JoinCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	if maxPairs <= 0 {
+		maxPairs = DefaultCacheMaxPairs
+	}
+	return &JoinCache{
+		capacity: capacity,
+		maxPairs: maxPairs,
+		entries:  make(map[JoinKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached result for key, if present, and records the hit or
+// miss. The returned CachedJoin is shared — callers must not mutate it.
+func (c *JoinCache) Get(key JoinKey) (*CachedJoin, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	le, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(le)
+	return le.Value.(*cacheEntry).res, true
+}
+
+// Put stores a join result, evicting the least-recently-used entry when over
+// capacity. Results exceeding the pair cap are dropped silently.
+func (c *JoinCache) Put(key JoinKey, res *CachedJoin) {
+	if len(res.Pairs) > c.maxPairs {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if le, ok := c.entries[key]; ok {
+		le.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(le)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.order.Remove(back)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *JoinCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

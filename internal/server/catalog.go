@@ -1,0 +1,328 @@
+// Package server is the spatial query serving layer: a concurrency-safe
+// catalog of named datasets and their built TRANSFORMERS indexes, an LRU
+// cache of join results, a bounded worker pool for join execution, and the
+// HTTP handlers of the spatialjoind daemon.
+//
+// The paper's index is built once per dataset and reused across any number
+// of joins (§III); the catalog turns that property into a serving primitive:
+// clients upload or generate datasets once, then issue joins, distance joins
+// and range queries against the built indexes for as long as the daemon
+// lives. Builds are single-flight (concurrent requests for the same index
+// wait for one build), indexes are ref-counted while queries run on them,
+// and cold indexes are evicted LRU when the catalog exceeds its cap —
+// they rebuild transparently on next use, because the raw elements stay.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/transformers"
+)
+
+// ErrUnknownDataset is returned when a query names a dataset that was never
+// uploaded (or was deleted).
+var ErrUnknownDataset = errors.New("server: unknown dataset")
+
+// DefaultMaxIndexes caps the built indexes the catalog keeps before evicting
+// cold ones.
+const DefaultMaxIndexes = 64
+
+// Catalog maps dataset names to raw elements and lazily built indexes. One
+// dataset can carry several index variants, keyed by the distance-join
+// expansion applied to its boxes (0 = the base index); each variant is built
+// at most once concurrently and evicted independently.
+type Catalog struct {
+	mu         sync.Mutex
+	maxIndexes int
+	pageSize   int
+	clock      uint64
+	datasets   map[string]*dataset
+	builds     uint64
+	evictions  uint64
+}
+
+// CatalogStats is a point-in-time snapshot of catalog activity.
+type CatalogStats struct {
+	Datasets  int    `json:"datasets"`
+	Indexes   int    `json:"indexes"`
+	Builds    uint64 `json:"builds"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// DatasetInfo describes one cataloged dataset for /stats.
+type DatasetInfo struct {
+	Name     string `json:"name"`
+	Elements int    `json:"elements"`
+	Version  uint64 `json:"version"`
+	Indexes  int    `json:"indexes"`
+}
+
+type dataset struct {
+	name    string
+	elems   []transformers.Element
+	version uint64
+	indexes map[float64]*idxEntry
+}
+
+// idxEntry is one built (or building) index variant. ready is closed when
+// the build finishes; refs pins the entry against eviction while queries
+// run on it.
+type idxEntry struct {
+	expand  float64
+	ready   chan struct{}
+	idx     *transformers.Index
+	err     error
+	refs    int
+	lastUse uint64
+}
+
+// NewCatalog returns an empty catalog. maxIndexes <= 0 selects
+// DefaultMaxIndexes; pageSize <= 0 selects the storage default.
+func NewCatalog(maxIndexes, pageSize int) *Catalog {
+	if maxIndexes <= 0 {
+		maxIndexes = DefaultMaxIndexes
+	}
+	return &Catalog{
+		maxIndexes: maxIndexes,
+		pageSize:   pageSize,
+		datasets:   make(map[string]*dataset),
+	}
+}
+
+// Put registers (or replaces) a named dataset. Existing index variants of a
+// replaced dataset are dropped and the version is bumped, so cached join
+// results keyed by the old version can never be served again. The element
+// slice is owned by the catalog afterwards.
+func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		ds = &dataset{name: name}
+		c.datasets[name] = ds
+	}
+	ds.elems = elems
+	ds.version++
+	// Orphan every old variant: in-flight builds finish against the old
+	// elements but are no longer reachable, pinned readers keep their handle
+	// valid until release.
+	ds.indexes = make(map[float64]*idxEntry)
+	return ds.version
+}
+
+// Handle pins one built index until Release is called.
+type Handle struct {
+	cat     *Catalog
+	entry   *idxEntry
+	Index   *transformers.Index
+	Name    string
+	Version uint64
+}
+
+// Release unpins the index; idempotent.
+func (h *Handle) Release() {
+	if h == nil || h.cat == nil {
+		return
+	}
+	cat, e := h.cat, h.entry
+	h.cat, h.entry = nil, nil
+	cat.mu.Lock()
+	e.refs--
+	c := cat
+	c.clock++
+	e.lastUse = c.clock
+	c.evictLocked()
+	cat.mu.Unlock()
+}
+
+// Acquire returns a pinned handle on the index of dataset name with every
+// box expanded by expand/2 per side (expand 0 = the base index), building it
+// if needed. Concurrent acquisitions of the same variant share one build
+// (single-flight); the caller must Release the handle when done.
+func (c *Catalog) Acquire(name string, expand float64) (*Handle, error) {
+	// NaN must be rejected, not just negatives: a NaN map key can never be
+	// looked up or deleted again, which would defeat single-flight and make
+	// the eviction loop spin on an unremovable victim.
+	if expand < 0 || math.IsNaN(expand) || math.IsInf(expand, 0) {
+		return nil, fmt.Errorf("server: invalid expansion %v", expand)
+	}
+	c.mu.Lock()
+	ds := c.datasets[name]
+	if ds == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	version := ds.version
+	if e, ok := ds.indexes[expand]; ok {
+		e.refs++
+		c.clock++
+		e.lastUse = c.clock
+		c.mu.Unlock()
+		<-e.ready // single-flight: wait for the (possibly in-flight) build
+		if e.err != nil {
+			h := &Handle{cat: c, entry: e}
+			h.Release()
+			return nil, e.err
+		}
+		return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: version}, nil
+	}
+
+	// First acquirer builds; later ones take the branch above and wait.
+	e := &idxEntry{expand: expand, ready: make(chan struct{}), refs: 1}
+	c.clock++
+	e.lastUse = c.clock
+	ds.indexes[expand] = e
+	c.builds++
+	// BuildIndex reorders its input in place, and ExpandForDistance must not
+	// observe a concurrent reorder — always build from a private copy taken
+	// under the lock.
+	elems := append([]transformers.Element(nil), ds.elems...)
+	pageSize := c.pageSize
+	c.mu.Unlock()
+
+	if expand > 0 {
+		var err error
+		if elems, err = transformers.ExpandForDistance(elems, expand); err != nil {
+			c.finishBuild(ds, e, nil, err)
+			return nil, err
+		}
+	}
+	idx, err := transformers.BuildIndex(elems, transformers.IndexOptions{PageSize: pageSize})
+	c.finishBuild(ds, e, idx, err)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{cat: c, entry: e, Index: idx, Name: name, Version: version}, nil
+}
+
+// TryAcquire returns a pinned handle only when the variant is already built
+// and healthy; ok=false means the caller must go through Acquire (and should
+// do so under build admission control — TryAcquire never builds and never
+// blocks on an in-flight build).
+func (c *Catalog) TryAcquire(name string, expand float64) (*Handle, bool, error) {
+	if expand < 0 || math.IsNaN(expand) || math.IsInf(expand, 0) {
+		return nil, false, fmt.Errorf("server: invalid expansion %v", expand)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	e, ok := ds.indexes[expand]
+	if !ok || !isReady(e) || e.err != nil {
+		return nil, false, nil
+	}
+	e.refs++
+	c.clock++
+	e.lastUse = c.clock
+	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: ds.version}, true, nil
+}
+
+// finishBuild publishes a build outcome and wakes the waiters. Failed builds
+// are removed from the catalog so the next Acquire retries.
+func (c *Catalog) finishBuild(ds *dataset, e *idxEntry, idx *transformers.Index, err error) {
+	c.mu.Lock()
+	e.idx, e.err = idx, err
+	close(e.ready)
+	if err != nil {
+		e.refs-- // drop the builder's pin; waiters drop theirs on wake
+		if cur, ok := ds.indexes[e.expand]; ok && cur == e {
+			delete(ds.indexes, e.expand)
+		}
+	} else {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used unpinned indexes until the built
+// count is within the cap. Pinned or still-building entries are never
+// evicted; if everything is pinned the catalog temporarily overflows.
+func (c *Catalog) evictLocked() {
+	for c.countReadyLocked() > c.maxIndexes {
+		var victimDS *dataset
+		var victimKey float64
+		var victim *idxEntry
+		for _, ds := range c.datasets {
+			for k, e := range ds.indexes {
+				if e.refs > 0 || !isReady(e) || e.err != nil {
+					continue
+				}
+				if victim == nil || e.lastUse < victim.lastUse {
+					victimDS, victimKey, victim = ds, k, e
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(victimDS.indexes, victimKey)
+		c.evictions++
+	}
+}
+
+func (c *Catalog) countReadyLocked() int {
+	n := 0
+	for _, ds := range c.datasets {
+		for _, e := range ds.indexes {
+			if isReady(e) && e.err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func isReady(e *idxEntry) bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Version returns the current version of a dataset.
+func (c *Catalog) Version(name string) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds.version, nil
+}
+
+// Stats returns a snapshot of catalog counters.
+func (c *Catalog) Stats() CatalogStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CatalogStats{
+		Datasets:  len(c.datasets),
+		Indexes:   c.countReadyLocked(),
+		Builds:    c.builds,
+		Evictions: c.evictions,
+	}
+}
+
+// Datasets lists the cataloged datasets sorted by name.
+func (c *Catalog) Datasets() []DatasetInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(c.datasets))
+	for _, ds := range c.datasets {
+		out = append(out, DatasetInfo{
+			Name:     ds.name,
+			Elements: len(ds.elems),
+			Version:  ds.version,
+			Indexes:  len(ds.indexes),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

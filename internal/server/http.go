@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/geom"
+	"repro/transformers"
+)
+
+// HTTP wire types. Geometry uses lowercase lo/hi triples so curl bodies stay
+// hand-writable.
+
+type boxDTO struct {
+	Lo [geom.Dims]float64 `json:"lo"`
+	Hi [geom.Dims]float64 `json:"hi"`
+}
+
+func (b boxDTO) box() transformers.Box {
+	return transformers.Box{Lo: b.Lo, Hi: b.Hi}
+}
+
+func toBoxDTO(b transformers.Box) boxDTO { return boxDTO{Lo: b.Lo, Hi: b.Hi} }
+
+type elementDTO struct {
+	ID  uint64 `json:"id"`
+	Box boxDTO `json:"box"`
+}
+
+// generateSpec requests server-side synthesis of one of the paper's
+// workloads (§VII-B) instead of uploading elements.
+type generateSpec struct {
+	Kind string `json:"kind"` // uniform | dense_cluster | uniform_cluster | massive_cluster | axons | dendrites
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+func (g generateSpec) elements() ([]transformers.Element, error) {
+	if g.N <= 0 {
+		return nil, fmt.Errorf("generate: n must be positive, got %d", g.N)
+	}
+	switch g.Kind {
+	case "uniform":
+		return transformers.GenerateUniform(g.N, g.Seed), nil
+	case "dense_cluster":
+		return transformers.GenerateDenseCluster(g.N, g.Seed), nil
+	case "uniform_cluster":
+		return transformers.GenerateUniformCluster(g.N, g.Seed), nil
+	case "massive_cluster":
+		return transformers.GenerateMassiveCluster(g.N, g.Seed), nil
+	case "axons":
+		return transformers.GenerateAxons(g.N, g.Seed), nil
+	case "dendrites":
+		return transformers.GenerateDendrites(g.N, g.Seed), nil
+	default:
+		return nil, fmt.Errorf("generate: unknown kind %q", g.Kind)
+	}
+}
+
+type datasetRequest struct {
+	Name     string        `json:"name"`
+	Elements []elementDTO  `json:"elements,omitempty"`
+	Generate *generateSpec `json:"generate,omitempty"`
+}
+
+type joinRequest struct {
+	A            string  `json:"a"`
+	B            string  `json:"b"`
+	Distance     float64 `json:"distance,omitempty"`
+	Parallelism  int     `json:"parallelism,omitempty"`
+	Stream       bool    `json:"stream,omitempty"`
+	IncludePairs bool    `json:"include_pairs,omitempty"`
+	NoCache      bool    `json:"no_cache,omitempty"`
+}
+
+type pairDTO struct {
+	A uint64 `json:"a"`
+	B uint64 `json:"b"`
+}
+
+type joinResponse struct {
+	A       string      `json:"a"`
+	B       string      `json:"b"`
+	Cached  bool        `json:"cached"`
+	Summary JoinSummary `json:"summary"`
+	Pairs   []pairDTO   `json:"pairs,omitempty"`
+}
+
+type rangeRequest struct {
+	Dataset string `json:"dataset"`
+	Box     boxDTO `json:"box"`
+	Stream  bool   `json:"stream,omitempty"`
+}
+
+type rangeResponse struct {
+	Dataset  string       `json:"dataset"`
+	Results  int          `json:"results"`
+	Elements []elementDTO `json:"elements"`
+	Stats    rangeStats   `json:"stats"`
+}
+
+type rangeStats struct {
+	NodesVisited int     `json:"nodes_visited"`
+	UnitsRead    int     `json:"units_read"`
+	WalkSteps    uint64  `json:"walk_steps"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the daemon's HTTP handler over svc.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", func(w http.ResponseWriter, r *http.Request) { handleDatasets(svc, w, r) })
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) { handleJoin(svc, w, r, false) })
+	mux.HandleFunc("POST /join/distance", func(w http.ResponseWriter, r *http.Request) { handleJoin(svc, w, r, true) })
+	mux.HandleFunc("POST /query/range", func(w http.ResponseWriter, r *http.Request) { handleRange(svc, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func handleDatasets(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req datasetRequest
+	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+		return
+	}
+	if req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset name is required"})
+		return
+	}
+	var elems []transformers.Element
+	switch {
+	case req.Generate != nil && len(req.Elements) > 0:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "provide either elements or generate, not both"})
+		return
+	case req.Generate != nil:
+		if req.Generate.N > svc.cfg.MaxGenerateElements {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("generate: n %d exceeds the %d-element cap", req.Generate.N, svc.cfg.MaxGenerateElements)})
+			return
+		}
+		var err error
+		if elems, err = req.Generate.elements(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	case len(req.Elements) > 0:
+		elems = make([]transformers.Element, len(req.Elements))
+		for i, e := range req.Elements {
+			b := e.Box.box()
+			if !b.Valid() {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("element %d: invalid box (lo > hi)", i)})
+				return
+			}
+			elems[i] = transformers.Element{ID: e.ID, Box: b}
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "provide elements or generate"})
+		return
+	}
+	info, err := svc.AddDataset(r.Context(), req.Name, elems)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance bool) {
+	var req joinRequest
+	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+		return
+	}
+	if req.A == "" || req.B == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "both dataset names a and b are required"})
+		return
+	}
+	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache}
+	if distance {
+		if req.Distance <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance must be positive"})
+			return
+		}
+		params.Distance = req.Distance
+	} else if req.Distance != 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance is only valid on /join/distance"})
+		return
+	}
+	out, err := svc.Join(r.Context(), req.A, req.B, params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Stream {
+		streamJoin(w, req, out)
+		return
+	}
+	resp := joinResponse{A: req.A, B: req.B, Cached: out.Cached, Summary: out.Summary}
+	if req.IncludePairs {
+		resp.Pairs = make([]pairDTO, len(out.Pairs))
+		for i, p := range out.Pairs {
+			resp.Pairs[i] = pairDTO{A: p.A, B: p.B}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamJoin writes the result as NDJSON: one pair object per line, then one
+// final summary line. Pairs are flushed in batches so large results stream
+// with bounded memory on the response path.
+func streamJoin(w http.ResponseWriter, req joinRequest, out *JoinOutcome) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(bw)
+	for i, p := range out.Pairs {
+		if err := enc.Encode(pairDTO{A: p.A, B: p.B}); err != nil {
+			return // client went away mid-stream
+		}
+		if (i+1)%4096 == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	_ = enc.Encode(struct {
+		Summary JoinSummary `json:"summary"`
+		Cached  bool        `json:"cached"`
+	}{out.Summary, out.Cached})
+	_ = bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func handleRange(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+		return
+	}
+	if req.Dataset == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset name is required"})
+		return
+	}
+	query := req.Box.box()
+	if !query.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid query box (lo > hi)"})
+		return
+	}
+	elems, rs, err := svc.RangeQuery(r.Context(), req.Dataset, query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	stats := rangeStats{
+		NodesVisited: rs.NodesVisited,
+		UnitsRead:    rs.UnitsRead,
+		WalkSteps:    rs.WalkSteps,
+		WallMS:       float64(rs.Wall.Microseconds()) / 1000,
+	}
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		bw := bufio.NewWriterSize(w, 64<<10)
+		enc := json.NewEncoder(bw)
+		for _, e := range elems {
+			if err := enc.Encode(elementDTO{ID: e.ID, Box: toBoxDTO(e.Box)}); err != nil {
+				return
+			}
+		}
+		_ = enc.Encode(struct {
+			Summary rangeStats `json:"summary"`
+			Results int        `json:"results"`
+		}{stats, len(elems)})
+		_ = bw.Flush()
+		return
+	}
+	resp := rangeResponse{Dataset: req.Dataset, Results: len(elems), Elements: make([]elementDTO, len(elems)), Stats: stats}
+	for i, e := range elems {
+		resp.Elements[i] = elementDTO{ID: e.ID, Box: toBoxDTO(e.Box)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrBusy is returned when the join queue is full: the admission-control
+// signal the HTTP layer turns into 503 so clients back off instead of piling
+// onto a saturated daemon.
+var ErrBusy = errors.New("server: join queue full")
+
+// Pool bounds the number of joins executing concurrently. Each admitted join
+// may itself run multi-worker (JoinOptions.Parallelism), so the pool bounds
+// coarse admission, not threads; CPU-level fan-out stays inside the join.
+type Pool struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	active   atomic.Int64
+	done     atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	Workers   int    `json:"workers"`
+	Active    int64  `json:"active"`
+	Queued    int64  `json:"queued"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// NewPool returns a pool admitting at most workers concurrent jobs and
+// holding at most maxQueue waiting ones. workers <= 0 selects
+// runtime.GOMAXPROCS(0); maxQueue < 0 means an unbounded queue.
+func NewPool(workers, maxQueue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, workers), maxQueue: int64(maxQueue)}
+}
+
+// Do runs fn on an admitted slot, waiting for one if all are busy. It
+// returns ErrBusy when the waiting line is full and the context's error when
+// the caller gives up before admission.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if p.maxQueue >= 0 && p.queued.Load() >= p.maxQueue {
+		// Racy check by design: strict admission would need a lock on the
+		// hot path, and an off-by-few queue bound is harmless.
+		if len(p.slots) == cap(p.slots) {
+			p.rejected.Add(1)
+			return ErrBusy
+		}
+	}
+	p.queued.Add(1)
+	select {
+	case p.slots <- struct{}{}:
+		p.queued.Add(-1)
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	}
+	// The caller may have gone away while we waited for the slot; dropping
+	// the job here is free, running it would burn the slot on a result
+	// nobody reads.
+	if err := ctx.Err(); err != nil {
+		<-p.slots
+		return err
+	}
+	p.active.Add(1)
+	defer func() {
+		p.active.Add(-1)
+		p.done.Add(1)
+		<-p.slots
+	}()
+	return fn()
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   cap(p.slots),
+		Active:    p.active.Load(),
+		Queued:    p.queued.Load(),
+		Completed: p.done.Load(),
+		Rejected:  p.rejected.Load(),
+	}
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/transformers"
+)
+
+// Config sizes the service.
+type Config struct {
+	// PageSize is the page size of catalog index stores; storage default
+	// when zero.
+	PageSize int
+	// MaxIndexes caps built indexes kept in the catalog
+	// (DefaultMaxIndexes when zero).
+	MaxIndexes int
+	// CacheEntries and CacheMaxPairs size the join-result cache
+	// (DefaultCacheEntries / DefaultCacheMaxPairs when zero).
+	CacheEntries  int
+	CacheMaxPairs int
+	// Workers bounds concurrently executing joins and index builds
+	// (GOMAXPROCS when zero); MaxQueue bounds the waiting line (negative =
+	// unbounded, zero = DefaultMaxQueue; a zero-length line is not
+	// representable — use MaxQueue 1 for near-immediate backpressure).
+	Workers  int
+	MaxQueue int
+	// Parallelism is the per-join worker count used when a request does not
+	// set its own (1 when zero: one pool slot = one core).
+	Parallelism int
+	// MaxGenerateElements caps server-side dataset generation
+	// (DefaultMaxGenerateElements when zero); MaxBodyBytes caps request
+	// bodies (DefaultMaxBodyBytes when zero). Both exist so one cheap
+	// request cannot allocate the daemon to death.
+	MaxGenerateElements int
+	MaxBodyBytes        int64
+}
+
+// Resource-bound defaults.
+const (
+	// DefaultMaxQueue is the default join admission queue length.
+	DefaultMaxQueue = 64
+	// DefaultMaxGenerateElements caps one generated dataset (~5M elements
+	// ≈ 350MB indexed).
+	DefaultMaxGenerateElements = 5_000_000
+	// DefaultMaxBodyBytes caps one request body (256MB ≈ 2.5M uploaded
+	// elements in JSON).
+	DefaultMaxBodyBytes = 256 << 20
+)
+
+// Service is the spatial query service: dataset catalog, join cache, and the
+// bounded join pool. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	cat   *Catalog
+	cache *JoinCache
+	pool  *Pool
+	start time.Time
+
+	joins        atomic.Uint64
+	rangeQueries atomic.Uint64
+}
+
+// NewService assembles a service from the config.
+func NewService(cfg Config) *Service {
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.MaxGenerateElements <= 0 {
+		cfg.MaxGenerateElements = DefaultMaxGenerateElements
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return &Service{
+		cfg:   cfg,
+		cat:   NewCatalog(cfg.MaxIndexes, cfg.PageSize),
+		cache: NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
+		pool:  NewPool(cfg.Workers, cfg.MaxQueue),
+		start: time.Now(),
+	}
+}
+
+// Catalog exposes the dataset catalog (tests and the example client).
+func (s *Service) Catalog() *Catalog { return s.cat }
+
+// BuildInfo reports one dataset registration.
+type BuildInfo struct {
+	Name     string  `json:"name"`
+	Elements int     `json:"elements"`
+	Version  uint64  `json:"version"`
+	Units    int     `json:"units"`
+	Nodes    int     `json:"nodes"`
+	BuildMS  float64 `json:"build_ms"`
+}
+
+// AddDataset registers (or replaces) a named dataset and eagerly builds its
+// base index, so the first query pays no build latency. The build runs under
+// the pool's admission control — a registration storm gets ErrBusy like any
+// other expensive work. The element slice is owned by the service afterwards.
+func (s *Service) AddDataset(ctx context.Context, name string, elems []transformers.Element) (BuildInfo, error) {
+	if name == "" {
+		return BuildInfo{}, fmt.Errorf("server: empty dataset name")
+	}
+	start := time.Now()
+	var h *Handle
+	var version uint64
+	// Put happens inside admission: a registration rejected with ErrBusy (or
+	// abandoned by the client) must not have replaced the dataset.
+	if err := s.pool.Do(ctx, func() error {
+		version = s.cat.Put(name, elems)
+		var aerr error
+		h, aerr = s.cat.Acquire(name, 0)
+		return aerr
+	}); err != nil {
+		return BuildInfo{}, err
+	}
+	defer h.Release()
+	br := h.Index.BuildReport()
+	return BuildInfo{
+		Name:     name,
+		Elements: br.Elements,
+		Version:  version,
+		Units:    br.Units,
+		Nodes:    br.Nodes,
+		BuildMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// JoinParams selects a join execution.
+type JoinParams struct {
+	// Distance > 0 runs the distance join of §VIII: pairs whose boxes come
+	// within the given Chebyshev distance. 0 is the plain intersection join.
+	Distance float64
+	// Parallelism overrides the per-join worker count (service default when
+	// zero, all cores when negative).
+	Parallelism int
+	// NoCache bypasses the result cache (both lookup and fill).
+	NoCache bool
+}
+
+// JoinOutcome is one join result: pairs in A/B orientation, the cost
+// summary, and whether the cache served it.
+type JoinOutcome struct {
+	Pairs   []transformers.Pair
+	Summary JoinSummary
+	Cached  bool
+}
+
+// joinKey assembles the cache key for one join execution.
+func joinKey(a, b string, va, vb uint64, distance float64) JoinKey {
+	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance}
+	if distance > 0 {
+		key.Predicate = "distance"
+	}
+	return key
+}
+
+// Join runs (or serves from cache) the join of datasets a and b. Pair
+// orientation follows the argument order. The returned pair slice may be
+// shared with the cache — callers must not mutate it.
+func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOutcome, error) {
+	if p.Distance < 0 || math.IsNaN(p.Distance) || math.IsInf(p.Distance, 0) {
+		return nil, fmt.Errorf("server: invalid distance %v", p.Distance)
+	}
+	s.joins.Add(1)
+
+	// Cache fast path on the current dataset versions, before any index is
+	// acquired: a hit must not pay an index (re)build of an evicted variant.
+	// Version is a cheap catalog lookup; a replacement racing between this
+	// check and the acquisition below only turns a hit into a safe miss
+	// (the stored key uses the acquired handles' versions).
+	va, err := s.cat.Version(a)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := s.cat.Version(b)
+	if err != nil {
+		return nil, err
+	}
+	if !p.NoCache {
+		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance)); ok {
+			return &JoinOutcome{Pairs: res.Pairs, Summary: res.Summary, Cached: true}, nil
+		}
+	}
+
+	parallelism := p.Parallelism
+	if parallelism == 0 {
+		parallelism = s.cfg.Parallelism
+	}
+	// Miss: acquire and join inside one pool slot, so admission control
+	// bounds the expensive work — including the single-flight index builds
+	// acquisition can trigger (a distance join builds expanded variants of
+	// both sides, §VIII). Waiting on another request's in-flight build
+	// consumes this slot but never needs a second one, so slots cannot
+	// deadlock.
+	var res *transformers.JoinResult
+	var key JoinKey
+	err = s.pool.Do(ctx, func() error {
+		ha, err := s.cat.Acquire(a, p.Distance)
+		if err != nil {
+			return err
+		}
+		defer ha.Release()
+		hb, err := s.cat.Acquire(b, p.Distance)
+		if err != nil {
+			return err
+		}
+		defer hb.Release()
+		key = joinKey(a, b, ha.Version, hb.Version, p.Distance)
+		res, err = transformers.Join(ha.Index, hb.Index, transformers.JoinOptions{
+			Parallelism: parallelism,
+			Concurrent:  true,
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	summary := JoinSummary{
+		Results:         res.Stats.Results,
+		Comparisons:     res.Stats.Comparisons,
+		MetaComparisons: res.Stats.MetaComparisons,
+		JoinWallMS:      float64(res.Stats.Wall) / float64(time.Millisecond),
+		ModeledIOMS:     float64(res.ModeledIOTime) / float64(time.Millisecond),
+		Reads:           res.Stats.IO.Reads,
+	}
+	if !p.NoCache {
+		s.cache.Put(key, &CachedJoin{Pairs: res.Pairs, Summary: summary})
+	}
+	return &JoinOutcome{Pairs: res.Pairs, Summary: summary}, nil
+}
+
+// RangeQuery returns the elements of a cataloged dataset intersecting the
+// query box. The hot path — index already built — bypasses the join pool
+// entirely (a few page reads, interactive latency); only a cold index whose
+// rebuild the query would trigger goes through pool admission, so range
+// traffic against evicted datasets cannot stampede unbounded builds.
+func (s *Service) RangeQuery(ctx context.Context, dataset string, query transformers.Box) ([]transformers.Element, transformers.RangeStats, error) {
+	s.rangeQueries.Add(1)
+	h, ok, err := s.cat.TryAcquire(dataset, 0)
+	if err != nil {
+		return nil, transformers.RangeStats{}, err
+	}
+	if !ok {
+		if err := s.pool.Do(ctx, func() error {
+			var aerr error
+			h, aerr = s.cat.Acquire(dataset, 0)
+			return aerr
+		}); err != nil {
+			return nil, transformers.RangeStats{}, err
+		}
+	}
+	defer h.Release()
+	return h.Index.RangeQuery(query)
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	UptimeMS     float64       `json:"uptime_ms"`
+	Joins        uint64        `json:"joins"`
+	RangeQueries uint64        `json:"range_queries"`
+	Catalog      CatalogStats  `json:"catalog"`
+	Cache        CacheStats    `json:"cache"`
+	Pool         PoolStats     `json:"pool"`
+	Datasets     []DatasetInfo `json:"datasets"`
+	PageSize     int           `json:"page_size"`
+}
+
+// Stats returns a snapshot of service activity.
+func (s *Service) Stats() Stats {
+	pageSize := s.cfg.PageSize
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	return Stats{
+		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+		Joins:        s.joins.Load(),
+		RangeQueries: s.rangeQueries.Load(),
+		Catalog:      s.cat.Stats(),
+		Cache:        s.cache.Stats(),
+		Pool:         s.pool.Stats(),
+		Datasets:     s.cat.Datasets(),
+		PageSize:     pageSize,
+	}
+}

@@ -30,8 +30,10 @@ type ReaderOpener interface {
 // OpenReaders returns n stores that can serve reads concurrently over st,
 // each with independent I/O counters starting at zero. Stores implementing
 // ReaderOpener (MemStore, FileStore) hand out native lock-free views; any
-// other Store is serialized behind one shared mutex, preserving correctness
-// for implementations that predate the concurrency contract.
+// other Store is serialized behind one mutex shared by every reader of that
+// store — across OpenReaders calls too, so independent concurrent joins and
+// range queries over the same index (the serving workload) stay serialized
+// against each other, not just within one call's reader set.
 func OpenReaders(st Store, n int) []Store {
 	if n < 1 {
 		n = 1
@@ -43,11 +45,25 @@ func OpenReaders(st Store, n int) []Store {
 		}
 		return out
 	}
-	mu := new(sync.Mutex)
+	mu := fallbackMutex(st)
 	for i := range out {
 		out[i] = &lockedReader{st: st, mu: mu}
 	}
 	return out
+}
+
+// fallbackMutexes maps a non-ReaderOpener store to its shared reader mutex.
+// Entries live as long as the process (one pointer per distinct store that
+// ever took the fallback path — the repo's own stores all implement
+// ReaderOpener, so the registry stays empty unless callers bring their own).
+var fallbackMutexes sync.Map // Store -> *sync.Mutex
+
+func fallbackMutex(st Store) *sync.Mutex {
+	if mu, ok := fallbackMutexes.Load(st); ok {
+		return mu.(*sync.Mutex)
+	}
+	mu, _ := fallbackMutexes.LoadOrStore(st, new(sync.Mutex))
+	return mu.(*sync.Mutex)
 }
 
 // memReader is a lock-free read-only view of a MemStore. Page contents are

@@ -163,3 +163,32 @@ func TestReaderSequentialClassification(t *testing.T) {
 		t.Fatalf("backward scan classified seq=%d rand=%d", s1.SeqReads, s1.RandReads)
 	}
 }
+
+// TestLockedFallbackSharedAcrossOpens: separate OpenReaders calls on the
+// same non-ReaderOpener store must share one mutex, or concurrent joins on a
+// shared index through the fallback path would race on the parent store's
+// tracker. Run under -race this test is the regression gate.
+func TestLockedFallbackSharedAcrossOpens(t *testing.T) {
+	st := plainStore{NewMemStore(0)}
+	fillStore(t, st, 16)
+	r1 := OpenReaders(st, 1)[0]
+	r2 := OpenReaders(st, 1)[0]
+	if r1.(*lockedReader).mu != r2.(*lockedReader).mu {
+		t.Fatal("independent OpenReaders calls got independent mutexes")
+	}
+	var wg sync.WaitGroup
+	for _, r := range []Store{r1, r2} {
+		wg.Add(1)
+		go func(r Store) {
+			defer wg.Done()
+			buf := make([]byte, r.PageSize())
+			for i := 0; i < 200; i++ {
+				if err := r.Read(PageID(i%16), buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -152,6 +152,11 @@ type JoinOptions struct {
 	// worker, pair collection and OnPair delivery are serialized internally,
 	// so OnPair never runs concurrently with itself.
 	Parallelism int
+	// Concurrent marks the indexes as shared with other goroutines: page
+	// reads then go through private reader views so several joins (and
+	// range queries) may run on the same indexes simultaneously. Results
+	// are identical. The serving layer sets this on every join.
+	Concurrent bool
 }
 
 // JoinResult is the outcome of a join.
@@ -210,6 +215,7 @@ func Join(a, b *Index, opt JoinOptions) (*JoinResult, error) {
 		Disk:              opt.Disk,
 		CachePages:        opt.CachePages,
 		Parallelism:       opt.Parallelism,
+		Concurrent:        opt.Concurrent,
 	}, emit)
 	if err != nil {
 		return nil, fmt.Errorf("transformers: join: %w", err)

@@ -83,6 +83,34 @@ func TestRunAllAlgorithmsAgree(t *testing.T) {
 	}
 }
 
+// TestCrossAlgorithmConsistency asserts all four disk-based algorithms
+// report the naive pair count on clustered and on skewed generated data —
+// the distributions whose non-uniformity the paper targets, and where
+// partition-boundary bugs (duplicates, missed pairs) would show up first.
+func TestCrossAlgorithmConsistency(t *testing.T) {
+	workloads := []struct {
+		name string
+		a, b []Element
+	}{
+		{"clustered", GenerateDenseCluster(2000, 201), GenerateDenseCluster(2000, 202)},
+		{"skewed", GenerateMassiveCluster(2000, 203), GenerateUniform(2000, 204)},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			want := uint64(len(naive.Join(w.a, w.b)))
+			for _, alg := range Algorithms() {
+				rep, err := Run(alg, append([]Element(nil), w.a...), append([]Element(nil), w.b...), RunOptions{})
+				if err != nil {
+					t.Fatalf("%s: %v", alg, err)
+				}
+				if rep.Results != want {
+					t.Errorf("%s on %s: %d results, naive reports %d", alg, w.name, rep.Results, want)
+				}
+			}
+		})
+	}
+}
+
 func TestRunGipsyOrientsPairs(t *testing.T) {
 	// GIPSY internally swaps sparse/dense; Run must restore A/B order.
 	sparse := GenerateUniform(40, 7)
