@@ -26,13 +26,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	algo := flag.String("algo", "all",
+		"engine the algorithm-sweeping experiments drive, or 'all' (registered: "+strings.Join(engine.Names(), ", ")+")")
 	scale := flag.Float64("scale", 0.001, "fraction of the paper's element counts")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 1, "TRANSFORMERS join worker count (1 = paper-faithful)")
@@ -45,11 +49,23 @@ func main() {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-16s %-26s %s\n", e.ID, e.Paper, e.Description)
 		}
+		fmt.Println("registered engines:", strings.Join(engine.Names(), ", "))
 		return
 	}
 
+	// The registry is the single source of engine names: -algo accepts
+	// exactly what it serves, no per-algorithm code paths.
+	var algos []string
+	if *algo != "all" {
+		if _, err := engine.Get(*algo); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		algos = []string{*algo}
+	}
+
 	if !*jsonOut {
-		cfg := bench.Config{Scale: *scale, Out: os.Stdout, Seed: *seed, Parallel: *parallel}
+		cfg := bench.Config{Scale: *scale, Out: os.Stdout, Seed: *seed, Parallel: *parallel, Algos: algos}
 		if err := bench.RunByID(*exp, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -66,8 +82,10 @@ func main() {
 		Scale       float64     `json:"scale"`
 		Seed        int64       `json:"seed"`
 		Parallel    int         `json:"parallel"`
+		Algo        string      `json:"algo"`
+		Engines     []string    `json:"engines"`
 		Experiments []expResult `json:"experiments"`
-	}{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	}{Scale: *scale, Seed: *seed, Parallel: *parallel, Algo: *algo, Engines: engine.Names()}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -83,6 +101,7 @@ func main() {
 			Out:      os.Stderr,
 			Seed:     *seed,
 			Parallel: *parallel,
+			Algos:    algos,
 			Sink:     func(s bench.Sample) { res.Samples = append(res.Samples, s) },
 		}
 		start := time.Now()

@@ -28,7 +28,8 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "transformers", "algorithm: transformers, pbsm, rtree, gipsy, naive, or all")
+	algo := flag.String("algo", "transformers",
+		"engine: "+strings.Join(transformers.EngineNames(), ", ")+", or all (every registered engine)")
 	specA := flag.String("a", "uniform:100000", "dataset A spec (distribution:count)")
 	specB := flag.String("b", "uniform:100000", "dataset B spec (distribution:count)")
 	seedA := flag.Int64("seed-a", 1, "dataset A seed")
@@ -47,9 +48,16 @@ func main() {
 
 	algos := []transformers.Algorithm{transformers.Algorithm(*algo)}
 	if *algo == "all" {
-		algos = transformers.Algorithms()
+		algos = algos[:0]
+		for _, name := range transformers.EngineNames() {
+			algos = append(algos, transformers.Algorithm(name))
+		}
 	}
 	for _, alg := range algos {
+		if *algo == "all" && alg == transformers.AlgoNaive && float64(len(a))*float64(len(b)) > 1e9 {
+			fmt.Printf("%-14s skipped (|A|·|B| too large for the nested loop; run -algo naive explicitly)\n", alg)
+			continue
+		}
 		rep, err := transformers.Run(alg,
 			append([]transformers.Element(nil), a...),
 			append([]transformers.Element(nil), b...),

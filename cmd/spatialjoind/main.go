@@ -13,7 +13,11 @@
 //
 //	POST /datasets       upload {"name","elements":[...]} or generate
 //	                     {"name","generate":{"kind","n","seed"}}; builds the index
-//	POST /join           {"a","b","stream"?,"include_pairs"?,"parallelism"?}
+//	                     and caches the planner's dataset statistics
+//	POST /join           {"a","b","algorithm"?,"stream"?,"include_pairs"?,"parallelism"?}
+//	                     algorithm: any registered engine, or "auto" (the
+//	                     statistics-driven planner picks; the response reports
+//	                     the choice and the ranked scores)
 //	POST /join/distance  same plus "distance": d (Chebyshev, §VIII)
 //	POST /query/range    {"dataset","box":{"lo":[x,y,z],"hi":[x,y,z]},"stream"?}
 //	GET  /healthz        liveness
@@ -32,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -47,10 +53,19 @@ func main() {
 	joinWorkers := flag.Int("join-workers", 0, "max concurrently executing joins and index builds (0 = GOMAXPROCS)")
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "max queued joins before 503 (0 = default, negative = unbounded; use 1 for near-immediate backpressure)")
 	parallel := flag.Int("parallel", 1, "default per-join worker count (negative = all cores)")
+	defaultAlgo := flag.String("default-algorithm", "",
+		"engine for joins that do not name one: "+strings.Join(engine.Names(), ", ")+
+			", or auto (planner; default transformers)")
 	maxGenerate := flag.Int("max-generate", 0, "largest server-side generated dataset (0 = default 5M elements)")
 	maxBody := flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = default 256MB)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
+
+	if *defaultAlgo != "" && *defaultAlgo != server.AlgorithmAuto {
+		if _, err := engine.Get(*defaultAlgo); err != nil {
+			log.Fatalf("-default-algorithm: %v", err)
+		}
+	}
 
 	svc := server.NewService(server.Config{
 		PageSize:            *pageSize,
@@ -62,6 +77,7 @@ func main() {
 		Parallelism:         *parallel,
 		MaxGenerateElements: *maxGenerate,
 		MaxBodyBytes:        *maxBody,
+		DefaultAlgorithm:    *defaultAlgo,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

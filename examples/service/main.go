@@ -83,11 +83,25 @@ func main() {
 			run, sum["results"], doc["cached"], time.Since(t).Round(time.Microsecond))
 	}
 
-	// 3. Distance join: pairs within 5 units (boxes enlarged by d/2, §VIII).
+	// 3. Planner-selected join: "auto" resolves the engine from the cached
+	// dataset statistics and reports the ranked scoring.
+	doc = post(base, "/join", `{"a":"axons","b":"dendrites","algorithm":"auto","no_cache":true}`)
+	sum := doc["summary"].(map[string]any)
+	plan := sum["planner"].(map[string]any)
+	fmt.Printf("auto join: planner chose %v (%d engines scored)\n",
+		sum["algorithm"], len(plan["scores"].([]any)))
+
+	// 3b. Explicit engine: the same join through PBSM, for comparison.
+	doc = post(base, "/join", `{"a":"axons","b":"dendrites","algorithm":"pbsm","no_cache":true}`)
+	fmt.Printf("pbsm join: %v pairs (engine builds per request: build_ms=%.1f)\n",
+		doc["summary"].(map[string]any)["results"],
+		doc["summary"].(map[string]any)["build_ms"])
+
+	// 4. Distance join: pairs within 5 units (boxes enlarged by d/2, §VIII).
 	doc = post(base, "/join/distance", `{"a":"axons","b":"dendrites","distance":5}`)
 	fmt.Printf("distance join (d=5): %v pairs\n", doc["summary"].(map[string]any)["results"])
 
-	// 4. Streaming NDJSON join: count the pair lines.
+	// 5. Streaming NDJSON join: count the pair lines.
 	resp, err := http.Post(base+"/join", "application/json",
 		strings.NewReader(`{"a":"axons","b":"dendrites","stream":true}`))
 	if err != nil {
@@ -104,13 +118,13 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("streamed join: %d pair lines + summary %s\n", lines-1, last)
 
-	// 5. Range query against the built axons index.
+	// 6. Range query against the built axons index.
 	doc = post(base, "/query/range",
 		`{"dataset":"axons","box":{"lo":[400,400,700],"hi":[600,600,900]}}`)
 	stats := doc["stats"].(map[string]any)
 	fmt.Printf("range query: %v elements, %v unit pages read\n", doc["results"], stats["units_read"])
 
-	// 6. Health and service counters.
+	// 7. Health and service counters.
 	hresp, err := http.Get(base + "/healthz")
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/transformers"
 )
@@ -38,19 +39,19 @@ func runAblationDisk(cfg Config) error {
 	genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+22) }
 	t := &table{header: []string{"disk", "No TR", "TRANSFORMERS", "ratio", "tsu final"}}
 	for _, d := range ablationDisks() {
-		noTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
-			transformers.RunOptions{Disk: d.disk, Join: transformers.JoinOptions{DisableTransforms: true}})
+		noTR, err := runAlgo(cfg, engine.Transformers, genA, genB,
+			engine.Options{Disk: d.disk, DisableTransforms: true})
 		if err != nil {
 			return err
 		}
-		withTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
-			transformers.RunOptions{Disk: d.disk})
+		withTR, err := runAlgo(cfg, engine.Transformers, genA, genB,
+			engine.Options{Disk: d.disk})
 		if err != nil {
 			return err
 		}
-		ratio := float64(noTR.JoinTotal) / float64(withTR.JoinTotal)
-		t.addRow(d.name, dur(noTR.JoinTotal), dur(withTR.JoinTotal),
-			fmt.Sprintf("%.2fx", ratio), fmt.Sprintf("%.1f", withTR.Transformers.TSUFinal))
+		ratio := float64(noTR.Stats.JoinTotal) / float64(withTR.Stats.JoinTotal)
+		t.addRow(d.name, dur(noTR.Stats.JoinTotal), dur(withTR.Stats.JoinTotal),
+			fmt.Sprintf("%.2fx", ratio), fmt.Sprintf("%.1f", withTR.Stats.Transformers.TSUFinal))
 	}
 	t.write(cfg.Out)
 	fmt.Fprintln(cfg.Out, "\nthe cost model reprices transformations per device: cheap seeks")
@@ -65,13 +66,13 @@ func runAblationCache(cfg Config) error {
 	genB := func() []transformers.Element { return transformers.GenerateUniformCluster(n, cfg.Seed+24) }
 	t := &table{header: []string{"cache pages", "join total", "pages read", "random reads"}}
 	for _, pages := range []int{16, 64, 256, 1024, 4096} {
-		rep, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
-			transformers.RunOptions{Join: transformers.JoinOptions{CachePages: pages}})
+		rep, err := runAlgo(cfg, engine.Transformers, genA, genB,
+			engine.Options{CachePages: pages})
 		if err != nil {
 			return err
 		}
-		t.addRow(fmt.Sprintf("%d", pages), dur(rep.JoinTotal),
-			count(rep.JoinIO.Reads), count(rep.JoinIO.RandReads))
+		t.addRow(fmt.Sprintf("%d", pages), dur(rep.Stats.JoinTotal),
+			count(rep.Stats.JoinIO.Reads), count(rep.Stats.JoinIO.RandReads))
 	}
 	t.write(cfg.Out)
 	fmt.Fprintln(cfg.Out, "\nbuffer-pool sensitivity: small pools re-read follower pages that")

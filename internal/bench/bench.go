@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/transformers"
 )
 
@@ -38,6 +40,10 @@ type Config struct {
 	// Sink, when set, receives one Sample per algorithm execution — the
 	// machine-readable feed behind `cmd/experiments -json`.
 	Sink func(Sample)
+	// Algos restricts the engines algorithm-sweeping experiments drive
+	// (names from engine.Names()); empty keeps each experiment's default
+	// set. The feed behind `cmd/experiments -algo`.
+	Algos []string
 
 	// experiment is the id currently running; runOne stamps it so samples
 	// carry their provenance.
@@ -55,8 +61,15 @@ func (c Config) normalize() Config {
 // experiment: the paper's three join-phase metrics plus I/O detail, for
 // tracking the perf trajectory across PRs (BENCH_*.json).
 type Sample struct {
-	Experiment      string  `json:"experiment"`
-	Algorithm       string  `json:"algorithm"`
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	// Workload names the data distribution when the experiment sweeps
+	// several (the cross-engine "engines" comparison).
+	Workload string `json:"workload,omitempty"`
+	// PlannerCostMS is the planner's predicted cost for this engine on
+	// this workload, recorded by the "engines" experiment so BENCH files
+	// double as the planner's empirical calibration record.
+	PlannerCostMS   float64 `json:"planner_cost_ms,omitempty"`
 	Parallel        int     `json:"parallel,omitempty"`
 	BuildTotalMS    float64 `json:"build_total_ms"`
 	JoinWallMS      float64 `json:"join_wall_ms"`
@@ -100,21 +113,21 @@ func sampleFromJoin(algorithm string, parallel int, res *transformers.JoinResult
 	}
 }
 
-// sampleFromReport flattens a run report into a Sample.
-func sampleFromReport(alg transformers.Algorithm, parallel int, rep *transformers.RunReport) Sample {
+// sampleFromResult flattens an engine result into a Sample.
+func sampleFromResult(res *engine.Result, parallel int) Sample {
 	return Sample{
-		Algorithm:       string(alg),
+		Algorithm:       res.Engine,
 		Parallel:        parallel,
-		BuildTotalMS:    ms(rep.BuildTotal),
-		JoinWallMS:      ms(rep.JoinWall),
-		JoinIOTimeMS:    ms(rep.JoinIOTime),
-		JoinTotalMS:     ms(rep.JoinTotal),
-		Comparisons:     rep.Comparisons,
-		MetaComparisons: rep.MetaComps,
-		Results:         rep.Results,
-		Reads:           rep.JoinIO.Reads,
-		RandReads:       rep.JoinIO.RandReads,
-		BytesRead:       rep.JoinIO.BytesRead,
+		BuildTotalMS:    ms(res.Stats.BuildTotal),
+		JoinWallMS:      ms(res.Stats.JoinWall),
+		JoinIOTimeMS:    ms(res.Stats.JoinIOTime),
+		JoinTotalMS:     ms(res.Stats.JoinTotal),
+		Comparisons:     res.Stats.Candidates,
+		MetaComparisons: res.Stats.MetaComparisons,
+		Results:         res.Stats.Refinements,
+		Reads:           res.Stats.JoinIO.Reads,
+		RandReads:       res.Stats.JoinIO.RandReads,
+		BytesRead:       res.Stats.JoinIO.BytesRead,
 	}
 }
 
@@ -247,6 +260,12 @@ func Experiments() []Experiment {
 			Description: "parallel speedup: TRANSFORMERS join wall time vs worker count, uniform and clustered data",
 			Run:         runScaling,
 		},
+		{
+			ID:          "engines",
+			Paper:       "extension (engine planner)",
+			Description: "cross-engine comparison on uniform/clustered/skewed data, every registered engine, with planner predictions",
+			Run:         runEngines,
+		},
 	}
 }
 
@@ -349,23 +368,50 @@ func count(n uint64) string {
 	}
 }
 
-// runAlgo is the shared "generate fresh data, run algorithm" step; data is
-// regenerated per run because partitioners reorder their inputs. The
-// harness-wide Parallel knob applies to the TRANSFORMERS join unless the
-// experiment pinned its own worker count, and every execution feeds the
-// sample sink.
-func runAlgo(cfg Config, alg transformers.Algorithm, genA, genB func() []transformers.Element, opt transformers.RunOptions) (*transformers.RunReport, error) {
-	if opt.Join.Parallelism == 0 {
-		opt.Join.Parallelism = cfg.Parallel
+// runAlgo is the shared "generate fresh data, run engine" step; data is
+// regenerated per run because partitioners reorder their inputs. Every
+// engine goes through the registry. The harness-wide Parallel knob applies
+// to engines that support it unless the experiment pinned its own worker
+// count, and every execution feeds the sample sink.
+func runAlgo(cfg Config, name string, genA, genB func() []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	if opt.Parallelism == 0 {
+		opt.Parallelism = cfg.Parallel
 	}
-	rep, err := transformers.Run(alg, genA(), genB(), opt)
+	opt.DiscardPairs = true // the harness only needs the counters
+	res, err := engine.Run(context.Background(), name, genA(), genB(), opt)
 	if err != nil {
 		return nil, err
 	}
 	parallel := 0
-	if alg == transformers.AlgoTransformers {
-		parallel = opt.Join.Parallelism
+	if name == engine.Transformers {
+		parallel = opt.Parallelism
 	}
-	cfg.record(sampleFromReport(alg, parallel, rep))
-	return rep, nil
+	cfg.record(sampleFromResult(res, parallel))
+	return res, nil
+}
+
+// filterAlgos intersects an experiment's default engine list with the
+// harness-wide -algo restriction, preserving the default order.
+func (c Config) filterAlgos(defaults []string) []string {
+	if len(c.Algos) == 0 {
+		return defaults
+	}
+	keep := make(map[string]bool, len(c.Algos))
+	for _, a := range c.Algos {
+		keep[a] = true
+	}
+	out := make([]string, 0, len(defaults))
+	for _, d := range defaults {
+		if keep[d] {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		// Surface the mismatch: a registered-but-irrelevant -algo (e.g.
+		// grid against a paper figure) would otherwise run an experiment
+		// over zero engines and read as a successful empty measurement.
+		fmt.Fprintf(c.Out, "(-algo %v does not intersect this experiment's engine set %v; nothing to run)\n",
+			c.Algos, defaults)
+	}
+	return out
 }

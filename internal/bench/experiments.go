@@ -1,13 +1,22 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"repro/internal/engine"
+	"repro/internal/engine/planner"
 	"repro/transformers"
 )
 
 // paperM converts the paper's "millions of elements" counts.
 const paperM = 1_000_000
+
+// paperAlgos is the paper's evaluation set in presentation order.
+func paperAlgos() []string {
+	return []string{engine.Transformers, engine.PBSM, engine.RTree, engine.GIPSY}
+}
 
 // fig10Pairs derives the nine dataset-size pairs of Figs. 1/10: dataset A
 // grows 200K→200M while B shrinks 200M→200K, with the labeled density
@@ -41,11 +50,8 @@ func fig10Pairs(cfg Config) []struct {
 }
 
 func runFig10(cfg Config) error {
-	algos := transformers.Algorithms()
-	t := &table{header: []string{"A", "B", "ratio"}}
-	for _, a := range algos {
-		t.header = append(t.header, string(a))
-	}
+	algos := cfg.filterAlgos(paperAlgos())
+	t := &table{header: append([]string{"A", "B", "ratio"}, algos...)}
 	for i, p := range fig10Pairs(cfg) {
 		row := []string{count(uint64(p.nA)), count(uint64(p.nB)), fmt.Sprintf("%dx", p.ratio)}
 		for _, alg := range algos {
@@ -55,11 +61,11 @@ func runFig10(cfg Config) error {
 			genB := func() []transformers.Element {
 				return transformers.GenerateUniform(p.nB, cfg.Seed+int64(i)+100)
 			}
-			rep, err := runAlgo(cfg, alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
+			rep, err := runAlgo(cfg, alg, genA, genB, engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10)})
 			if err != nil {
 				return err
 			}
-			row = append(row, dur(rep.JoinTotal))
+			row = append(row, dur(rep.Stats.JoinTotal))
 		}
 		t.addRow(row...)
 	}
@@ -82,8 +88,8 @@ func fig11Sizes(cfg Config) []int {
 
 // fig11Algos: the paper excludes GIPSY from the clustered experiments due to
 // its execution time on similar-density data.
-func fig11Algos() []transformers.Algorithm {
-	return []transformers.Algorithm{transformers.AlgoTransformers, transformers.AlgoPBSM, transformers.AlgoRTree}
+func fig11Algos() []string {
+	return []string{engine.Transformers, engine.PBSM, engine.RTree}
 }
 
 func fig11Gens(cfg Config, n int) (func() []transformers.Element, func() []transformers.Element) {
@@ -96,8 +102,8 @@ func fig11Gens(cfg Config, n int) (func() []transformers.Element, func() []trans
 	return genA, genB
 }
 
-func fig11Opts(cfg Config) transformers.RunOptions {
-	return transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)}
+func fig11Opts(cfg Config) engine.Options {
+	return engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10)}
 }
 
 func runFig11Index(cfg Config) error {
@@ -136,8 +142,8 @@ func fig12Gens(cfg Config, combined int) (func() []transformers.Element, func() 
 
 // fig12Opts: the paper's best PBSM configuration for neuroscience data uses
 // 20^3 partitions (scaled with the workload).
-func fig12Opts(cfg Config) transformers.RunOptions {
-	return transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(20)}
+func fig12Opts(cfg Config) engine.Options {
+	return engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(20)}
 }
 
 func runFig12Index(cfg Config) error {
@@ -153,20 +159,21 @@ func runFig12Tests(cfg Config) error {
 }
 
 // runIndexPanel prints the indexing-time panel (Figs. 11/12 left).
-func runIndexPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt transformers.RunOptions) error {
+func runIndexPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt engine.Options) error {
+	algos := cfg.filterAlgos(fig11Algos())
 	t := &table{header: []string{"N per side"}}
-	for _, a := range fig11Algos() {
-		t.header = append(t.header, string(a)+" index")
+	for _, a := range algos {
+		t.header = append(t.header, a+" index")
 	}
 	for _, n := range sizes {
 		row := []string{count(uint64(n))}
-		for _, alg := range fig11Algos() {
+		for _, alg := range algos {
 			genA, genB := gens(cfg, n)
 			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
-			row = append(row, dur(rep.BuildTotal))
+			row = append(row, dur(rep.Stats.BuildTotal))
 		}
 		t.addRow(row...)
 	}
@@ -178,20 +185,21 @@ func runIndexPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tra
 
 // runJoinPanel prints the join-time breakdown panel (Figs. 11/12 middle):
 // per algorithm, modeled I/O time and in-memory join time.
-func runJoinPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt transformers.RunOptions) error {
+func runJoinPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt engine.Options) error {
+	algos := cfg.filterAlgos(fig11Algos())
 	t := &table{header: []string{"N per side"}}
-	for _, a := range fig11Algos() {
-		t.header = append(t.header, string(a)+" I/O", string(a)+" join", string(a)+" total")
+	for _, a := range algos {
+		t.header = append(t.header, a+" I/O", a+" join", a+" total")
 	}
 	for _, n := range sizes {
 		row := []string{count(uint64(n))}
-		for _, alg := range fig11Algos() {
+		for _, alg := range algos {
 			genA, genB := gens(cfg, n)
 			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
-			row = append(row, dur(rep.JoinIOTime), dur(rep.JoinWall), dur(rep.JoinTotal))
+			row = append(row, dur(rep.Stats.JoinIOTime), dur(rep.Stats.JoinWall), dur(rep.Stats.JoinTotal))
 		}
 		t.addRow(row...)
 	}
@@ -203,22 +211,23 @@ func runJoinPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tran
 
 // runTestsPanel prints the #intersection-tests panel (Figs. 11/12 right).
 // For TRANSFORMERS the count includes metadata comparisons, as in the paper.
-func runTestsPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt transformers.RunOptions) error {
+func runTestsPanel(cfg Config, sizes []int, gens func(Config, int) (func() []transformers.Element, func() []transformers.Element), opt engine.Options) error {
+	algos := cfg.filterAlgos(fig11Algos())
 	t := &table{header: []string{"N per side"}}
-	for _, a := range fig11Algos() {
-		t.header = append(t.header, string(a)+" tests")
+	for _, a := range algos {
+		t.header = append(t.header, a+" tests")
 	}
 	for _, n := range sizes {
 		row := []string{count(uint64(n))}
-		for _, alg := range fig11Algos() {
+		for _, alg := range algos {
 			genA, genB := gens(cfg, n)
 			rep, err := runAlgo(cfg, alg, genA, genB, opt)
 			if err != nil {
 				return err
 			}
-			tests := rep.Comparisons
-			if alg == transformers.AlgoTransformers {
-				tests += rep.MetaComps // §VII-C2: "this also includes metadata comparisons"
+			tests := rep.Stats.Candidates
+			if alg == engine.Transformers {
+				tests += rep.Stats.MetaComparisons // §VII-C2: "this also includes metadata comparisons"
 			}
 			row = append(row, count(tests))
 		}
@@ -231,22 +240,19 @@ func runTestsPanel(cfg Config, sizes []int, gens func(Config, int) (func() []tra
 }
 
 func runTable1(cfg Config) error {
-	algos := fig11Algos()
-	t := &table{header: []string{"N per side"}}
-	for _, a := range algos {
-		t.header = append(t.header, string(a))
-	}
+	algos := cfg.filterAlgos(fig11Algos())
+	t := &table{header: append([]string{"N per side"}, algos...)}
 	for _, total := range []int{150, 250, 350} {
 		n := cfg.scaled(total * paperM / 2)
 		row := []string{count(uint64(n))}
 		for _, alg := range algos {
 			genA := func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+5) }
 			genB := func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+6) }
-			rep, err := runAlgo(cfg, alg, genA, genB, transformers.RunOptions{PBSMTilesPerDim: cfg.pbsmTiles(10)})
+			rep, err := runAlgo(cfg, alg, genA, genB, engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10)})
 			if err != nil {
 				return err
 			}
-			row = append(row, dur(rep.JoinTotal))
+			row = append(row, dur(rep.Stats.JoinTotal))
 		}
 		t.addRow(row...)
 	}
@@ -262,17 +268,17 @@ func runFig13Left(cfg Config) error {
 		n := cfg.scaled(total * paperM / 2)
 		genA := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+7) }
 		genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+8) }
-		noTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB,
-			transformers.RunOptions{Join: transformers.JoinOptions{DisableTransforms: true}})
+		noTR, err := runAlgo(cfg, engine.Transformers, genA, genB,
+			engine.Options{DisableTransforms: true})
 		if err != nil {
 			return err
 		}
-		withTR, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
+		withTR, err := runAlgo(cfg, engine.Transformers, genA, genB, engine.Options{})
 		if err != nil {
 			return err
 		}
-		speedup := float64(noTR.JoinTotal) / float64(withTR.JoinTotal)
-		t.addRow(count(uint64(n)), dur(noTR.JoinTotal), dur(withTR.JoinTotal),
+		speedup := float64(noTR.Stats.JoinTotal) / float64(withTR.Stats.JoinTotal)
+		t.addRow(count(uint64(n)), dur(noTR.Stats.JoinTotal), dur(withTR.Stats.JoinTotal),
 			fmt.Sprintf("%.2fx", speedup))
 	}
 	t.write(cfg.Out)
@@ -305,22 +311,21 @@ func runFig13Right(cfg Config) error {
 	}
 	configs := []struct {
 		name string
-		join transformers.JoinOptions
+		join engine.Options
 	}{
-		{"OverFit", transformers.JoinOptions{TSU: 1.5, TSO: 1.5, FixedThresholds: true}},
-		{"CostModelFit", transformers.JoinOptions{}},
-		{"UnderFit", transformers.JoinOptions{TSU: 1e6, TSO: 1e6, FixedThresholds: true}},
+		{"OverFit", engine.Options{TSU: 1.5, TSO: 1.5, FixedThresholds: true}},
+		{"CostModelFit", engine.Options{}},
+		{"UnderFit", engine.Options{TSU: 1e6, TSO: 1e6, FixedThresholds: true}},
 	}
 	t := &table{header: []string{"distribution", "OverFit", "CostModelFit", "UnderFit"}}
 	for _, w := range workloads {
 		row := []string{w.name}
 		for _, c := range configs {
-			rep, err := runAlgo(cfg, transformers.AlgoTransformers, w.genA, w.genB,
-				transformers.RunOptions{Join: c.join})
+			rep, err := runAlgo(cfg, engine.Transformers, w.genA, w.genB, c.join)
 			if err != nil {
 				return err
 			}
-			row = append(row, dur(rep.JoinTotal))
+			row = append(row, dur(rep.Stats.JoinTotal))
 		}
 		t.addRow(row...)
 	}
@@ -336,12 +341,12 @@ func runFig14(cfg Config) error {
 		n := cfg.scaled(total * paperM / 2)
 		genA := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+15) }
 		genB := func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+16) }
-		rep, err := runAlgo(cfg, transformers.AlgoTransformers, genA, genB, transformers.RunOptions{})
+		rep, err := runAlgo(cfg, engine.Transformers, genA, genB, engine.Options{})
 		if err != nil {
 			return err
 		}
-		overhead := rep.Transformers.ExploreWall
-		joinCost := rep.Transformers.JoinWall + rep.JoinIOTime
+		overhead := rep.Stats.Transformers.ExploreWall
+		joinCost := rep.Stats.Transformers.JoinWall + rep.Stats.JoinIOTime
 		totalT := overhead + joinCost
 		pct := 0.0
 		if totalT > 0 {
@@ -353,5 +358,90 @@ func runFig14(cfg Config) error {
 	t.write(cfg.Out)
 	fmt.Fprintln(cfg.Out, "\npaper: adaptive exploration overhead averages 17% of join execution;")
 	fmt.Fprintln(cfg.Out, "layout transformations keep it low by coarsening when walks get long.")
+	return nil
+}
+
+// enginesWorkloads are the three distributions of the cross-engine
+// comparison: the uniform baseline, the paper's clustered pairing (Fig. 11)
+// and the heavily skewed MassiveCluster self-join (Fig. 13).
+func enginesWorkloads(cfg Config, n int) []struct {
+	name       string
+	genA, genB func() []transformers.Element
+} {
+	return []struct {
+		name       string
+		genA, genB func() []transformers.Element
+	}{
+		{
+			name: "uniform",
+			genA: func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+41) },
+			genB: func() []transformers.Element { return transformers.GenerateUniform(n, cfg.Seed+42) },
+		},
+		{
+			name: "clustered",
+			genA: func() []transformers.Element { return transformers.GenerateDenseCluster(n, cfg.Seed+43) },
+			genB: func() []transformers.Element { return transformers.GenerateUniformCluster(n, cfg.Seed+44) },
+		},
+		{
+			name: "skewed",
+			genA: func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+45) },
+			genB: func() []transformers.Element { return transformers.GenerateMassiveCluster(n, cfg.Seed+46) },
+		},
+	}
+}
+
+// runEngines drives every registered engine over the three distributions and
+// prints measured cost next to the planner's prediction — the recorded
+// empirical basis of the planner's scoring (BENCH_1.json). One sample per
+// engine per workload feeds the sink, stamped with the workload and the
+// predicted cost.
+func runEngines(cfg Config) error {
+	n := cfg.scaled(20 * paperM)
+	algos := cfg.filterAlgos(engine.Names())
+	t := &table{header: []string{"workload", "engine", "predicted", "build", "join total", "candidates", "pages", "planner pick"}}
+	for _, w := range enginesWorkloads(cfg, n) {
+		sa := planner.Analyze(w.genA())
+		sb := planner.Analyze(w.genB())
+		decision := planner.Plan(sa, sb, planner.Config{})
+		predicted := make(map[string]float64, len(decision.Scores))
+		for _, s := range decision.Scores {
+			predicted[s.Engine] = s.CostMS
+		}
+		for _, name := range algos {
+			j, err := engine.Get(name)
+			if err != nil {
+				return err
+			}
+			if j.Capabilities().Reference && float64(n)*float64(n) > 1e9 {
+				fmt.Fprintf(cfg.Out, "(skipping %s: |A|·|B| too large at this scale)\n", name)
+				continue
+			}
+			// Not via runAlgo: the sample needs the workload and
+			// prediction stamps, so record it here instead.
+			rep, err := engine.Run(context.Background(), name, w.genA(), w.genB(),
+				engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10), Parallelism: cfg.Parallel, DiscardPairs: true})
+			if err != nil {
+				return err
+			}
+			pick := ""
+			if name == decision.Engine {
+				pick = "<== planned"
+			}
+			predCol := "excluded"
+			s := sampleFromResult(rep, 0)
+			s.Workload = w.name
+			if p := predicted[name]; !math.IsInf(p, 0) {
+				predCol = fmt.Sprintf("%.1fms", p)
+				s.PlannerCostMS = p
+			}
+			t.addRow(w.name, name, predCol, dur(rep.Stats.BuildTotal),
+				dur(rep.Stats.JoinTotal), count(rep.Stats.Candidates), count(rep.Stats.PagesRead), pick)
+			cfg.record(s)
+		}
+	}
+	t.write(cfg.Out)
+	fmt.Fprintln(cfg.Out, "\ncross-engine comparison on the planner's three canonical distributions;")
+	fmt.Fprintln(cfg.Out, "predictions come from internal/engine/planner and should preserve the")
+	fmt.Fprintln(cfg.Out, "measured ordering (the absolute values are rough by design).")
 	return nil
 }

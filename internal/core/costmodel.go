@@ -238,6 +238,24 @@ func clampThreshold(t float64) float64 {
 	return t
 }
 
+// DensityRatio exposes the §VI-A sparseness comparison to the engine
+// planner: the volume-per-element ratio between two datasets (or dataset
+// regions), the signal the adaptive join itself steers by. Values far from 1
+// mean contrasting densities (GIPSY's home turf); values near 1 mean similar
+// densities.
+func DensityRatio(volumeA float64, countA int, volumeB float64, countB int) float64 {
+	clamp := func(n int) int32 {
+		if n < 1 {
+			return 1
+		}
+		if n > math.MaxInt32 {
+			return math.MaxInt32
+		}
+		return int32(n)
+	}
+	return densityRatio(volumeA, clamp(countA), volumeB, clamp(countB))
+}
+
 // densityRatio returns the guide/follower sparseness ratio of §VI-A
 // generalized to partially filled partitions: the paper compares volumes
 // Vg/Vf "considering that both datasets ... have the same number of elements

@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/gipsy"
+	"repro/internal/grid"
+	"repro/internal/naive"
+	"repro/internal/pbsm"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Built-in engine names. The registry serves these six; Register accepts
+// more.
+const (
+	Transformers = "transformers"
+	PBSM         = "pbsm"
+	RTree        = "rtree"
+	GIPSY        = "gipsy"
+	Grid         = "grid"
+	Naive        = "naive"
+)
+
+func init() {
+	// Registration order is the wire-visible Names() order: the paper's
+	// presentation order, then the in-memory references.
+	Register(transformersEngine{})
+	Register(pbsmEngine{})
+	Register(rtreeEngine{})
+	Register(gipsyEngine{})
+	Register(gridEngine{})
+	Register(naiveEngine{})
+}
+
+// transformersEngine runs the paper's adaptive join (§III–§VI): sequential,
+// parallel (Options.Parallelism) and distance (Options.Distance) execution
+// through one adapter, reusing prebuilt catalog indexes when supplied.
+type transformersEngine struct{}
+
+func (transformersEngine) Name() string { return Transformers }
+
+func (transformersEngine) Capabilities() Capabilities {
+	return Capabilities{Parallel: true, Adaptive: true, PrebuiltIndexes: true}
+}
+
+func (transformersEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	res := &Result{Engine: Transformers}
+	var ia, ib *core.Index
+	if opt.Prebuilt != nil && opt.Prebuilt.A != nil && opt.Prebuilt.B != nil {
+		// Catalog fast path: the indexes exist (distance expansion
+		// included), only the join runs. Options.Distance must be zero —
+		// the catalog applies expansion at build time.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opt.Disk == (storage.DiskModel{}) {
+			opt.Disk = storage.DefaultDiskModel()
+		}
+		ia, ib = opt.Prebuilt.A, opt.Prebuilt.B
+	} else {
+		var err error
+		a, b, opt, err = prepare(ctx, a, b, opt)
+		if err != nil {
+			return nil, err
+		}
+		stA := storage.NewMemStore(opt.PageSize)
+		stB := storage.NewMemStore(opt.PageSize)
+		var bsA, bsB core.BuildStats
+		ia, bsA, err = core.BuildIndex(stA, a, core.IndexConfig{World: opt.World})
+		if err != nil {
+			return nil, err
+		}
+		ib, bsB, err = core.BuildIndex(stB, b, core.IndexConfig{World: opt.World})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BuildWall = bsA.Wall + bsB.Wall
+		res.Stats.BuildIO = bsA.IO.Add(bsB.IO)
+		res.Stats.IndexedPages = stA.NumPages() + stB.NumPages()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := newCollector(opt, true)
+	js, err := core.Join(ia, ib, core.JoinConfig{
+		DisableTransforms: opt.DisableTransforms,
+		TSU:               opt.TSU,
+		TSO:               opt.TSO,
+		FixedThresholds:   opt.FixedThresholds,
+		GuideB:            opt.GuideB,
+		Disk:              opt.Disk,
+		CachePages:        opt.CachePages,
+		Parallelism:       opt.Parallelism,
+		Concurrent:        opt.Concurrent,
+	}, col.emit)
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = col.pairs
+	res.Stats.Transformers = js
+	res.Stats.JoinWall = js.Wall
+	res.Stats.JoinIO = js.IO
+	res.Stats.Candidates = js.Comparisons
+	res.Stats.MetaComparisons = js.MetaComparisons
+	res.Stats.Refinements = js.Results
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// pbsmEngine is the Partition Based Spatial-Merge join [3]: uniform tiles,
+// round-robin partitions, multiple assignment, reference-tile dedup.
+type pbsmEngine struct{}
+
+func (pbsmEngine) Name() string               { return PBSM }
+func (pbsmEngine) Capabilities() Capabilities { return Capabilities{} }
+
+func (pbsmEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	tiles := opt.PBSMTilesPerDim
+	if tiles <= 0 {
+		tiles = 10
+	}
+	tl, err := pbsm.NewTiling(opt.World, tiles, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: PBSM}
+	stA := storage.NewMemStore(opt.PageSize)
+	stB := storage.NewMemStore(opt.PageSize)
+	ia, bsA, err := pbsm.BuildIndex(stA, a, tl)
+	if err != nil {
+		return nil, err
+	}
+	ib, bsB, err := pbsm.BuildIndex(stB, b, tl)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BuildWall = bsA.Wall + bsB.Wall
+	res.Stats.BuildIO = bsA.IO.Add(bsB.IO)
+	res.Stats.IndexedPages = stA.NumPages() + stB.NumPages()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := newCollector(opt, false)
+	js, err := pbsm.Join(ia, ib, grid.Config{}, col.emit)
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = col.pairs
+	res.Stats.JoinWall = js.Wall
+	res.Stats.JoinIO = js.IO
+	res.Stats.Candidates = js.Comparisons
+	res.Stats.Refinements = js.Results
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// rtreeEngine is the synchronized R-tree traversal join [2] over
+// STR-bulkloaded trees [10].
+type rtreeEngine struct{}
+
+func (rtreeEngine) Name() string               { return RTree }
+func (rtreeEngine) Capabilities() Capabilities { return Capabilities{} }
+
+func (rtreeEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: RTree}
+	stA := storage.NewMemStore(opt.PageSize)
+	stB := storage.NewMemStore(opt.PageSize)
+	ta, bsA, err := rtree.Bulkload(stA, a, rtree.Config{Fanout: opt.RTreeFanout, World: opt.World})
+	if err != nil {
+		return nil, err
+	}
+	tb, bsB, err := rtree.Bulkload(stB, b, rtree.Config{Fanout: opt.RTreeFanout, World: opt.World})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BuildWall = bsA.Wall + bsB.Wall
+	res.Stats.BuildIO = bsA.IO.Add(bsB.IO)
+	res.Stats.IndexedPages = stA.NumPages() + stB.NumPages()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := newCollector(opt, false)
+	js, err := rtree.SyncJoin(ta, tb, rtree.JoinConfig{CachePages: opt.CachePages}, col.emit)
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = col.pairs
+	res.Stats.JoinWall = js.Wall
+	res.Stats.JoinIO = js.IO
+	res.Stats.Candidates = js.Comparisons
+	res.Stats.MetaComparisons = js.MetaComparisons
+	res.Stats.Refinements = js.Results
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// gipsyEngine is the crawling join for contrasting densities [4]. The
+// smaller input is the (required) predetermined sparse guide; result
+// orientation is restored to the caller's A/B.
+type gipsyEngine struct{}
+
+func (gipsyEngine) Name() string               { return GIPSY }
+func (gipsyEngine) Capabilities() Capabilities { return Capabilities{} }
+
+func (gipsyEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	sparse, dense := a, b
+	sparseIsA := true
+	if len(a) > len(b) {
+		sparse, dense = b, a
+		sparseIsA = false
+	}
+	res := &Result{Engine: GIPSY}
+	st := storage.NewMemStore(opt.PageSize)
+	idx, bs, err := gipsy.BuildIndex(st, dense, gipsy.Config{World: opt.World})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BuildWall = bs.Wall
+	res.Stats.BuildIO = bs.IO
+	res.Stats.IndexedPages = st.NumPages()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := newCollector(opt, false)
+	js, err := gipsy.Join(sparse, idx, gipsy.JoinConfig{CachePages: opt.CachePages}, func(s, d geom.Element) {
+		if sparseIsA {
+			col.emit(s, d)
+		} else {
+			col.emit(d, s)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = col.pairs
+	res.Stats.JoinWall = js.Wall
+	res.Stats.JoinIO = js.IO
+	res.Stats.Candidates = js.Comparisons
+	res.Stats.MetaComparisons = js.MetaComparisons
+	res.Stats.Refinements = js.Results
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// gridEngine is the in-memory grid hash join of [11] run directly on the
+// element sets — no paged index, no modeled I/O. It hashes the smaller side
+// and probes with the larger, which bounds the replicated build structure.
+type gridEngine struct{}
+
+func (gridEngine) Name() string               { return Grid }
+func (gridEngine) Capabilities() Capabilities { return Capabilities{InMemory: true} }
+
+func (gridEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	build, probe := a, b
+	buildIsA := true
+	if len(a) > len(b) {
+		build, probe = b, a
+		buildIsA = false
+	}
+	res := &Result{Engine: Grid}
+	start := time.Now()
+	g := grid.Build(build, grid.Config{})
+	res.Stats.BuildWall = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := newCollector(opt, false)
+	start = time.Now()
+	for _, q := range probe {
+		g.Probe(q, func(hit geom.Element) {
+			res.Stats.Refinements++
+			if buildIsA {
+				col.emit(hit, q)
+			} else {
+				col.emit(q, hit)
+			}
+		})
+	}
+	res.Stats.JoinWall = time.Since(start)
+	res.Pairs = col.pairs
+	res.Stats.Candidates = g.Comparisons
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// naiveEngine is the O(|A|·|B|) nested loop — the trivially correct
+// reference every other engine is validated against.
+type naiveEngine struct{}
+
+func (naiveEngine) Name() string               { return Naive }
+func (naiveEngine) Capabilities() Capabilities { return Capabilities{InMemory: true, Reference: true} }
+
+func (naiveEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: Naive}
+	start := time.Now()
+	pairs := naive.Join(a, b)
+	res.Stats.JoinWall = time.Since(start)
+	res.Stats.Candidates = uint64(len(a)) * uint64(len(b))
+	res.Stats.Refinements = uint64(len(pairs))
+	if !opt.DiscardPairs {
+		res.Pairs = pairs
+	}
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/engine/planner"
 	"repro/transformers"
 )
 
@@ -18,24 +19,46 @@ const (
 
 // JoinKey identifies one join result: the dataset pair (order matters — it
 // fixes the A/B orientation of the pairs), the predicate, the distance
-// parameter, and the dataset versions at execution time. Replacing a dataset
-// bumps its version, so stale results can never be served; they age out of
-// the LRU order naturally.
+// parameter, the resolved engine, and the dataset versions at execution
+// time. Replacing a dataset bumps its version, so stale results can never be
+// served; they age out of the LRU order naturally. "auto" requests are keyed
+// by the engine the planner resolved to — the decision is deterministic per
+// dataset version, so auto and explicit requests share cache entries.
 type JoinKey struct {
 	A, B               string
 	VersionA, VersionB uint64
 	Predicate          string // "intersects" or "distance"
 	Distance           float64
+	Algorithm          string // resolved engine name
+}
+
+// PlannerInfo reports how an "auto" request was resolved.
+type PlannerInfo struct {
+	// Requested echoes the request's algorithm field ("auto").
+	Requested string `json:"requested"`
+	// Fallback is set when the robust default won over a nominally
+	// cheaper engine (see planner.Decision).
+	Fallback bool `json:"fallback,omitempty"`
+	// Scores is the full ranked prediction, cheapest first.
+	Scores []planner.Score `json:"scores"`
 }
 
 // JoinSummary is the cost summary the service reports (and caches) per join.
 type JoinSummary struct {
+	// Algorithm is the engine that executed (or would execute — cached
+	// entries carry the engine that produced them).
+	Algorithm       string  `json:"algorithm"`
 	Results         uint64  `json:"results"`
 	Comparisons     uint64  `json:"comparisons"`
 	MetaComparisons uint64  `json:"meta_comparisons"`
 	JoinWallMS      float64 `json:"join_wall_ms"`
 	ModeledIOMS     float64 `json:"modeled_io_ms"`
 	Reads           uint64  `json:"io_reads"`
+	// BuildMS is the per-request index build cost; zero on the
+	// transformers path, whose indexes live in the catalog.
+	BuildMS float64 `json:"build_ms,omitempty"`
+	// Planner is present when the request asked for "auto".
+	Planner *PlannerInfo `json:"planner,omitempty"`
 }
 
 // CachedJoin is one cached result.

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/engine/planner"
 	"repro/transformers"
 )
 
@@ -53,12 +54,17 @@ type CatalogStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// DatasetInfo describes one cataloged dataset for /stats.
+// DatasetInfo describes one cataloged dataset for /stats, including the
+// planner signals cached for it.
 type DatasetInfo struct {
 	Name     string `json:"name"`
 	Elements int    `json:"elements"`
 	Version  uint64 `json:"version"`
 	Indexes  int    `json:"indexes"`
+	// SkewCV and ClusterFraction are the planner's cached distribution
+	// signals (see planner.DatasetStats).
+	SkewCV          float64 `json:"skew_cv"`
+	ClusterFraction float64 `json:"cluster_fraction"`
 }
 
 type dataset struct {
@@ -66,6 +72,9 @@ type dataset struct {
 	elems   []transformers.Element
 	version uint64
 	indexes map[float64]*idxEntry
+	// stats is the planner fingerprint of elems, computed once per version
+	// at registration so every "auto" join plans from cached signals.
+	stats planner.DatasetStats
 }
 
 // idxEntry is one built (or building) index variant. ready is closed when
@@ -98,6 +107,9 @@ func NewCatalog(maxIndexes, pageSize int) *Catalog {
 // results keyed by the old version can never be served again. The element
 // slice is owned by the catalog afterwards.
 func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
+	// The O(n) statistics pass runs before the lock: planning signals are
+	// version-scoped and must not stall concurrent catalog traffic.
+	stats := planner.Analyze(elems)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds := c.datasets[name]
@@ -106,6 +118,7 @@ func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
 		c.datasets[name] = ds
 	}
 	ds.elems = elems
+	ds.stats = stats
 	ds.version++
 	// Orphan every old variant: in-flight builds finish against the old
 	// elements but are no longer reachable, pinned readers keep their handle
@@ -287,6 +300,37 @@ func isReady(e *idxEntry) bool {
 	}
 }
 
+// DatasetStats returns the cached planner statistics of a dataset and the
+// version they describe. Statistics are computed once per Put, so this is a
+// map lookup — cheap enough for every "auto" join to call.
+func (c *Catalog) DatasetStats(name string) (planner.DatasetStats, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		return planner.DatasetStats{}, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds.stats, ds.version, nil
+}
+
+// Elements returns a private copy of a dataset's raw elements and the copied
+// version. Engines that build their own per-request index reorder inputs in
+// place, so they must never see the catalog's slice.
+func (c *Catalog) Elements(name string) ([]transformers.Element, uint64, error) {
+	c.mu.Lock()
+	ds := c.datasets[name]
+	if ds == nil {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	elems, version := ds.elems, ds.version
+	c.mu.Unlock()
+	// The O(n) copy runs outside the lock: Put replaces ds.elems wholesale
+	// and nothing mutates the old slice, so the snapshot taken above stays
+	// immutable even if the dataset is replaced mid-copy.
+	return append([]transformers.Element(nil), elems...), version, nil
+}
+
 // Version returns the current version of a dataset.
 func (c *Catalog) Version(name string) (uint64, error) {
 	c.mu.Lock()
@@ -317,10 +361,12 @@ func (c *Catalog) Datasets() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(c.datasets))
 	for _, ds := range c.datasets {
 		out = append(out, DatasetInfo{
-			Name:     ds.name,
-			Elements: len(ds.elems),
-			Version:  ds.version,
-			Indexes:  len(ds.indexes),
+			Name:            ds.name,
+			Elements:        len(ds.elems),
+			Version:         ds.version,
+			Indexes:         len(ds.indexes),
+			SkewCV:          ds.stats.SkewCV,
+			ClusterFraction: ds.stats.ClusterFraction,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -67,8 +67,12 @@ type datasetRequest struct {
 }
 
 type joinRequest struct {
-	A            string  `json:"a"`
-	B            string  `json:"b"`
+	A string `json:"a"`
+	B string `json:"b"`
+	// Algorithm names the engine: any registered engine name, "auto" (the
+	// planner picks from cached dataset statistics), or empty for the
+	// daemon default. The response reports the resolved choice.
+	Algorithm    string  `json:"algorithm,omitempty"`
 	Distance     float64 `json:"distance,omitempty"`
 	Parallelism  int     `json:"parallelism,omitempty"`
 	Stream       bool    `json:"stream,omitempty"`
@@ -142,6 +146,8 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownDataset):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrUnknownAlgorithm):
+		status = http.StatusBadRequest
 	case errors.Is(err, ErrBusy):
 		status = http.StatusServiceUnavailable
 	}
@@ -221,7 +227,7 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "both dataset names a and b are required"})
 		return
 	}
-	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache}
+	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache, Algorithm: req.Algorithm}
 	if distance {
 		if req.Distance <= 0 {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance must be positive"})

@@ -2,14 +2,26 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/engine/planner"
 	"repro/internal/storage"
 	"repro/transformers"
 )
+
+// ErrUnknownAlgorithm is returned when a join names an engine the registry
+// does not serve.
+var ErrUnknownAlgorithm = errors.New("server: unknown algorithm")
+
+// AlgorithmAuto asks the planner to pick the engine from the datasets'
+// cached statistics.
+const AlgorithmAuto = "auto"
 
 // Config sizes the service.
 type Config struct {
@@ -38,6 +50,10 @@ type Config struct {
 	// request cannot allocate the daemon to death.
 	MaxGenerateElements int
 	MaxBodyBytes        int64
+	// DefaultAlgorithm is the engine used when a join request does not
+	// name one: any engine.Names() entry or AlgorithmAuto ("auto", the
+	// planner picks per request). engine.Transformers when empty.
+	DefaultAlgorithm string
 }
 
 // Resource-bound defaults.
@@ -62,7 +78,12 @@ type Service struct {
 	start time.Time
 
 	joins        atomic.Uint64
+	autoJoins    atomic.Uint64
 	rangeQueries atomic.Uint64
+
+	// engineJoins counts executed (non-cached) joins per engine name.
+	engineMu    sync.Mutex
+	engineJoins map[string]uint64
 }
 
 // NewService assembles a service from the config.
@@ -79,12 +100,16 @@ func NewService(cfg Config) *Service {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.DefaultAlgorithm == "" {
+		cfg.DefaultAlgorithm = engine.Transformers
+	}
 	return &Service{
-		cfg:   cfg,
-		cat:   NewCatalog(cfg.MaxIndexes, cfg.PageSize),
-		cache: NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
-		pool:  NewPool(cfg.Workers, cfg.MaxQueue),
-		start: time.Now(),
+		cfg:         cfg,
+		cat:         NewCatalog(cfg.MaxIndexes, cfg.PageSize),
+		cache:       NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
+		pool:        NewPool(cfg.Workers, cfg.MaxQueue),
+		start:       time.Now(),
+		engineJoins: make(map[string]uint64),
 	}
 }
 
@@ -99,6 +124,10 @@ type BuildInfo struct {
 	Units    int     `json:"units"`
 	Nodes    int     `json:"nodes"`
 	BuildMS  float64 `json:"build_ms"`
+	// SkewCV and ClusterFraction are the planner signals computed at
+	// registration (cached per version; see planner.DatasetStats).
+	SkewCV          float64 `json:"skew_cv"`
+	ClusterFraction float64 `json:"cluster_fraction"`
 }
 
 // AddDataset registers (or replaces) a named dataset and eagerly builds its
@@ -124,14 +153,19 @@ func (s *Service) AddDataset(ctx context.Context, name string, elems []transform
 	}
 	defer h.Release()
 	br := h.Index.BuildReport()
-	return BuildInfo{
+	info := BuildInfo{
 		Name:     name,
 		Elements: br.Elements,
 		Version:  version,
 		Units:    br.Units,
 		Nodes:    br.Nodes,
 		BuildMS:  float64(time.Since(start)) / float64(time.Millisecond),
-	}, nil
+	}
+	if st, _, err := s.cat.DatasetStats(name); err == nil {
+		info.SkewCV = st.SkewCV
+		info.ClusterFraction = st.ClusterFraction
+	}
+	return info, nil
 }
 
 // JoinParams selects a join execution.
@@ -140,10 +174,15 @@ type JoinParams struct {
 	// within the given Chebyshev distance. 0 is the plain intersection join.
 	Distance float64
 	// Parallelism overrides the per-join worker count (service default when
-	// zero, all cores when negative).
+	// zero, all cores when negative). Only engines whose capabilities
+	// report Parallel honor it.
 	Parallelism int
 	// NoCache bypasses the result cache (both lookup and fill).
 	NoCache bool
+	// Algorithm names the engine to run: any engine.Names() entry,
+	// AlgorithmAuto to let the planner pick, or empty for the service
+	// default.
+	Algorithm string
 }
 
 // JoinOutcome is one join result: pairs in A/B orientation, the cost
@@ -155,22 +194,70 @@ type JoinOutcome struct {
 }
 
 // joinKey assembles the cache key for one join execution.
-func joinKey(a, b string, va, vb uint64, distance float64) JoinKey {
-	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance}
+func joinKey(a, b string, va, vb uint64, distance float64, algorithm string) JoinKey {
+	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance, Algorithm: algorithm}
 	if distance > 0 {
 		key.Predicate = "distance"
 	}
 	return key
 }
 
-// Join runs (or serves from cache) the join of datasets a and b. Pair
-// orientation follows the argument order. The returned pair slice may be
-// shared with the cache — callers must not mutate it.
+// resolveAlgorithm turns the request's algorithm field into a concrete
+// engine name, consulting the planner on "auto". The planner prices the
+// TRANSFORMERS engine without a build phase (its indexes live in the
+// catalog) while every other engine pays a per-request build — the serving
+// economics, not just the algorithmic ones.
+func (s *Service) resolveAlgorithm(a, b string, requested string) (string, *PlannerInfo, error) {
+	algo := requested
+	if algo == "" {
+		algo = s.cfg.DefaultAlgorithm
+	}
+	if algo != AlgorithmAuto {
+		if _, err := engine.Get(algo); err != nil {
+			return "", nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, algo)
+		}
+		return algo, nil, nil
+	}
+	sa, _, err := s.cat.DatasetStats(a)
+	if err != nil {
+		return "", nil, err
+	}
+	sb, _, err := s.cat.DatasetStats(b)
+	if err != nil {
+		return "", nil, err
+	}
+	s.autoJoins.Add(1)
+	d := planner.Plan(sa, sb, planner.Config{
+		PageSize:             s.cfg.PageSize,
+		PrebuiltTransformers: true,
+	})
+	return d.Engine, &PlannerInfo{Requested: AlgorithmAuto, Fallback: d.Fallback, Scores: d.Scores}, nil
+}
+
+// countEngineJoin tallies one executed join per engine for /stats.
+func (s *Service) countEngineJoin(name string) {
+	s.engineMu.Lock()
+	s.engineJoins[name]++
+	s.engineMu.Unlock()
+}
+
+// Join runs (or serves from cache) the join of datasets a and b through the
+// requested (or planned) engine. Pair orientation follows the argument
+// order. The returned pair slice may be shared with the cache — callers must
+// not mutate it.
 func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOutcome, error) {
 	if p.Distance < 0 || math.IsNaN(p.Distance) || math.IsInf(p.Distance, 0) {
 		return nil, fmt.Errorf("server: invalid distance %v", p.Distance)
 	}
 	s.joins.Add(1)
+
+	// Resolve "auto" before the cache: the planner decision is
+	// deterministic per dataset version, so auto requests share cache
+	// entries with explicit requests for the same engine.
+	algo, plan, err := s.resolveAlgorithm(a, b, p.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 
 	// Cache fast path on the current dataset versions, before any index is
 	// acquired: a hit must not pay an index (re)build of an evicted variant.
@@ -186,8 +273,10 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 		return nil, err
 	}
 	if !p.NoCache {
-		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance)); ok {
-			return &JoinOutcome{Pairs: res.Pairs, Summary: res.Summary, Cached: true}, nil
+		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance, algo)); ok {
+			summary := res.Summary
+			summary.Planner = plan // report this request's planning, not the filler's
+			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
 		}
 	}
 
@@ -195,46 +284,77 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	if parallelism == 0 {
 		parallelism = s.cfg.Parallelism
 	}
-	// Miss: acquire and join inside one pool slot, so admission control
-	// bounds the expensive work — including the single-flight index builds
+	// Miss: all expensive work happens inside one pool slot, so admission
+	// control bounds it — including the single-flight index builds
 	// acquisition can trigger (a distance join builds expanded variants of
-	// both sides, §VIII). Waiting on another request's in-flight build
-	// consumes this slot but never needs a second one, so slots cannot
-	// deadlock.
-	var res *transformers.JoinResult
+	// both sides, §VIII) and the per-request builds of non-catalog engines.
+	// Waiting on another request's in-flight build consumes this slot but
+	// never needs a second one, so slots cannot deadlock.
+	var res *engine.Result
 	var key JoinKey
-	err = s.pool.Do(ctx, func() error {
-		ha, err := s.cat.Acquire(a, p.Distance)
-		if err != nil {
+	if algo == engine.Transformers {
+		// Catalog path: reuse the prebuilt (and, for distance joins,
+		// pre-expanded) indexes through the registry's prebuilt option.
+		err = s.pool.Do(ctx, func() error {
+			ha, err := s.cat.Acquire(a, p.Distance)
+			if err != nil {
+				return err
+			}
+			defer ha.Release()
+			hb, err := s.cat.Acquire(b, p.Distance)
+			if err != nil {
+				return err
+			}
+			defer hb.Release()
+			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, algo)
+			res, err = engine.Run(ctx, algo, nil, nil, engine.Options{
+				Parallelism: parallelism,
+				Concurrent:  true,
+				PageSize:    s.cfg.PageSize,
+				Prebuilt:    &engine.Prebuilt{A: ha.Index.Core(), B: hb.Index.Core()},
+			})
 			return err
-		}
-		defer ha.Release()
-		hb, err := s.cat.Acquire(b, p.Distance)
-		if err != nil {
-			return err
-		}
-		defer hb.Release()
-		key = joinKey(a, b, ha.Version, hb.Version, p.Distance)
-		res, err = transformers.Join(ha.Index, hb.Index, transformers.JoinOptions{
-			Parallelism: parallelism,
-			Concurrent:  true,
 		})
-		return err
-	})
+	} else {
+		// Registry path: the engine indexes private element copies per
+		// request (distance expansion included), inside the same slot.
+		err = s.pool.Do(ctx, func() error {
+			ea, verA, err := s.cat.Elements(a)
+			if err != nil {
+				return err
+			}
+			eb, verB, err := s.cat.Elements(b)
+			if err != nil {
+				return err
+			}
+			key = joinKey(a, b, verA, verB, p.Distance, algo)
+			res, err = engine.Run(ctx, algo, ea, eb, engine.Options{
+				Distance:    p.Distance,
+				Parallelism: parallelism,
+				PageSize:    s.cfg.PageSize,
+			})
+			return err
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
+	s.countEngineJoin(algo)
 	summary := JoinSummary{
-		Results:         res.Stats.Results,
-		Comparisons:     res.Stats.Comparisons,
+		Algorithm:       algo,
+		Results:         res.Stats.Refinements,
+		Comparisons:     res.Stats.Candidates,
 		MetaComparisons: res.Stats.MetaComparisons,
-		JoinWallMS:      float64(res.Stats.Wall) / float64(time.Millisecond),
-		ModeledIOMS:     float64(res.ModeledIOTime) / float64(time.Millisecond),
-		Reads:           res.Stats.IO.Reads,
+		JoinWallMS:      float64(res.Stats.JoinWall) / float64(time.Millisecond),
+		ModeledIOMS:     float64(res.Stats.JoinIOTime) / float64(time.Millisecond),
+		Reads:           res.Stats.PagesRead,
+		BuildMS:         float64(res.Stats.BuildTotal) / float64(time.Millisecond),
 	}
 	if !p.NoCache {
+		// Cache without the planner report: hits splice in their own.
 		s.cache.Put(key, &CachedJoin{Pairs: res.Pairs, Summary: summary})
 	}
+	summary.Planner = plan
 	return &JoinOutcome{Pairs: res.Pairs, Summary: summary}, nil
 }
 
@@ -264,14 +384,22 @@ func (s *Service) RangeQuery(ctx context.Context, dataset string, query transfor
 
 // Stats is the /stats document.
 type Stats struct {
-	UptimeMS     float64       `json:"uptime_ms"`
-	Joins        uint64        `json:"joins"`
-	RangeQueries uint64        `json:"range_queries"`
-	Catalog      CatalogStats  `json:"catalog"`
-	Cache        CacheStats    `json:"cache"`
-	Pool         PoolStats     `json:"pool"`
-	Datasets     []DatasetInfo `json:"datasets"`
-	PageSize     int           `json:"page_size"`
+	UptimeMS     float64 `json:"uptime_ms"`
+	Joins        uint64  `json:"joins"`
+	RangeQueries uint64  `json:"range_queries"`
+	// AutoJoins counts joins that went through the planner; EngineJoins
+	// counts executed (non-cached) joins per engine.
+	AutoJoins   uint64            `json:"auto_joins"`
+	EngineJoins map[string]uint64 `json:"engine_joins"`
+	// Algorithms lists the engines a join may name, plus "auto";
+	// DefaultAlgorithm is what an unnamed request gets.
+	Algorithms       []string      `json:"algorithms"`
+	DefaultAlgorithm string        `json:"default_algorithm"`
+	Catalog          CatalogStats  `json:"catalog"`
+	Cache            CacheStats    `json:"cache"`
+	Pool             PoolStats     `json:"pool"`
+	Datasets         []DatasetInfo `json:"datasets"`
+	PageSize         int           `json:"page_size"`
 }
 
 // Stats returns a snapshot of service activity.
@@ -280,14 +408,24 @@ func (s *Service) Stats() Stats {
 	if pageSize <= 0 {
 		pageSize = storage.DefaultPageSize
 	}
+	s.engineMu.Lock()
+	engineJoins := make(map[string]uint64, len(s.engineJoins))
+	for k, v := range s.engineJoins {
+		engineJoins[k] = v
+	}
+	s.engineMu.Unlock()
 	return Stats{
-		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
-		Joins:        s.joins.Load(),
-		RangeQueries: s.rangeQueries.Load(),
-		Catalog:      s.cat.Stats(),
-		Cache:        s.cache.Stats(),
-		Pool:         s.pool.Stats(),
-		Datasets:     s.cat.Datasets(),
-		PageSize:     pageSize,
+		UptimeMS:         float64(time.Since(s.start)) / float64(time.Millisecond),
+		Joins:            s.joins.Load(),
+		RangeQueries:     s.rangeQueries.Load(),
+		AutoJoins:        s.autoJoins.Load(),
+		EngineJoins:      engineJoins,
+		Algorithms:       append(engine.Names(), AlgorithmAuto),
+		DefaultAlgorithm: s.cfg.DefaultAlgorithm,
+		Catalog:          s.cat.Stats(),
+		Cache:            s.cache.Stats(),
+		Pool:             s.pool.Stats(),
+		Datasets:         s.cat.Datasets(),
+		PageSize:         pageSize,
 	}
 }

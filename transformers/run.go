@@ -1,37 +1,38 @@
 package transformers
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/geom"
-	"repro/internal/gipsy"
-	"repro/internal/grid"
-	"repro/internal/naive"
-	"repro/internal/pbsm"
-	"repro/internal/rtree"
+	"repro/internal/engine"
 	"repro/internal/storage"
 )
 
-// Algorithm selects a spatial join implementation for Run.
+// Algorithm selects a spatial join engine for Run. Values are engine
+// registry names — see engine.Names() (exposed here via EngineNames) for
+// the full set, including engines registered by external packages.
 type Algorithm string
 
-// The four disk-based algorithms of the paper's evaluation plus the naive
-// nested loop reference.
+// The four disk-based algorithms of the paper's evaluation plus the two
+// in-memory references.
 const (
 	// AlgoTransformers is the paper's contribution (§III–§VI).
-	AlgoTransformers Algorithm = "transformers"
+	AlgoTransformers Algorithm = engine.Transformers
 	// AlgoPBSM is the Partition Based Spatial-Merge join [3].
-	AlgoPBSM Algorithm = "pbsm"
+	AlgoPBSM Algorithm = engine.PBSM
 	// AlgoRTree is the synchronized R-tree traversal [2] over STR-bulkloaded
 	// trees [10].
-	AlgoRTree Algorithm = "rtree"
+	AlgoRTree Algorithm = engine.RTree
 	// AlgoGIPSY is the crawling join for contrasting densities [4]. Run
 	// uses the smaller dataset as the (required) predetermined sparse side.
-	AlgoGIPSY Algorithm = "gipsy"
+	AlgoGIPSY Algorithm = engine.GIPSY
+	// AlgoGrid is the in-memory grid hash join [11] run directly on the
+	// element sets (no paged index).
+	AlgoGrid Algorithm = engine.Grid
 	// AlgoNaive is the O(|A|·|B|) nested loop (reference/testing only).
-	AlgoNaive Algorithm = "naive"
+	AlgoNaive Algorithm = engine.Naive
 )
 
 // Algorithms lists the disk-based algorithms in the paper's evaluation
@@ -39,6 +40,10 @@ const (
 func Algorithms() []Algorithm {
 	return []Algorithm{AlgoTransformers, AlgoPBSM, AlgoRTree, AlgoGIPSY}
 }
+
+// EngineNames lists every registered join engine — the full registry,
+// including the in-memory references and externally registered engines.
+func EngineNames() []string { return engine.Names() }
 
 // RunOptions configures an end-to-end Run.
 type RunOptions struct {
@@ -59,6 +64,25 @@ type RunOptions struct {
 	// CollectPairs returns the result pairs in the report (costs memory on
 	// big joins; counts are always reported).
 	CollectPairs bool
+}
+
+// engineOptions translates RunOptions into the registry's option set.
+func (opt RunOptions) engineOptions() engine.Options {
+	return engine.Options{
+		PageSize:          opt.PageSize,
+		World:             opt.World,
+		Disk:              opt.Disk,
+		PBSMTilesPerDim:   opt.PBSMTilesPerDim,
+		RTreeFanout:       opt.RTreeFanout,
+		DiscardPairs:      !opt.CollectPairs,
+		DisableTransforms: opt.Join.DisableTransforms,
+		TSU:               opt.Join.TSU,
+		TSO:               opt.Join.TSO,
+		FixedThresholds:   opt.Join.FixedThresholds,
+		GuideB:            opt.Join.GuideB,
+		CachePages:        opt.Join.CachePages,
+		Parallelism:       opt.Join.Parallelism,
+	}
 }
 
 // RunReport is the uniform cost report of one end-to-end Run, with the
@@ -91,166 +115,35 @@ type RunReport struct {
 	Pairs []Pair
 }
 
+// reportFromResult flattens an engine result into the facade's report type.
+func reportFromResult(res *engine.Result) *RunReport {
+	return &RunReport{
+		Algorithm:    Algorithm(res.Engine),
+		BuildWall:    res.Stats.BuildWall,
+		BuildIO:      res.Stats.BuildIO,
+		BuildIOTime:  res.Stats.BuildIOTime,
+		BuildTotal:   res.Stats.BuildTotal,
+		IndexedPages: res.Stats.IndexedPages,
+		JoinWall:     res.Stats.JoinWall,
+		JoinIO:       res.Stats.JoinIO,
+		JoinIOTime:   res.Stats.JoinIOTime,
+		JoinTotal:    res.Stats.JoinTotal,
+		Comparisons:  res.Stats.Candidates,
+		MetaComps:    res.Stats.MetaComparisons,
+		Results:      res.Stats.Refinements,
+		Transformers: res.Stats.Transformers,
+		Pairs:        res.Pairs,
+	}
+}
+
 // Run executes one algorithm end to end (index both datasets, join them) on
-// an in-memory simulated disk and reports uniform cost metrics. The input
-// slices are reordered in place by the partitioning algorithms.
+// an in-memory simulated disk and reports uniform cost metrics. Any name in
+// EngineNames() is accepted. The input slices are reordered in place by the
+// partitioning algorithms.
 func Run(alg Algorithm, a, b []Element, opt RunOptions) (*RunReport, error) {
-	world := opt.World
-	if !world.Valid() || world.Volume() == 0 {
-		world = geom.MBBOf(a).Union(geom.MBBOf(b))
+	res, err := engine.Run(context.Background(), string(alg), a, b, opt.engineOptions())
+	if err != nil {
+		return nil, fmt.Errorf("transformers: %w", err)
 	}
-	disk := opt.Disk
-	if disk == (storage.DiskModel{}) {
-		disk = storage.DefaultDiskModel()
-	}
-	rep := &RunReport{Algorithm: alg}
-	emit := func(x, y Element) {
-		if opt.CollectPairs {
-			rep.Pairs = append(rep.Pairs, Pair{A: x.ID, B: y.ID})
-		}
-	}
-
-	switch alg {
-	case AlgoTransformers:
-		stA := storage.NewMemStore(opt.PageSize)
-		stB := storage.NewMemStore(opt.PageSize)
-		ia, bsA, err := core.BuildIndex(stA, a, core.IndexConfig{World: world})
-		if err != nil {
-			return nil, err
-		}
-		ib, bsB, err := core.BuildIndex(stB, b, core.IndexConfig{World: world})
-		if err != nil {
-			return nil, err
-		}
-		rep.BuildWall = bsA.Wall + bsB.Wall
-		rep.BuildIO = bsA.IO.Add(bsB.IO)
-		rep.IndexedPages = stA.NumPages() + stB.NumPages()
-		joinEmit := serializeEmit(opt.Join.Parallelism, opt.CollectPairs, emit)
-		js, err := core.Join(ia, ib, core.JoinConfig{
-			DisableTransforms: opt.Join.DisableTransforms,
-			TSU:               opt.Join.TSU,
-			TSO:               opt.Join.TSO,
-			FixedThresholds:   opt.Join.FixedThresholds,
-			GuideB:            opt.Join.GuideB,
-			Disk:              disk,
-			CachePages:        opt.Join.CachePages,
-			Parallelism:       opt.Join.Parallelism,
-		}, joinEmit)
-		if err != nil {
-			return nil, err
-		}
-		rep.Transformers = js
-		rep.JoinWall = js.Wall
-		rep.JoinIO = js.IO
-		rep.Comparisons = js.Comparisons
-		rep.MetaComps = js.MetaComparisons
-		rep.Results = js.Results
-
-	case AlgoPBSM:
-		tiles := opt.PBSMTilesPerDim
-		if tiles <= 0 {
-			tiles = 10
-		}
-		tl, err := pbsm.NewTiling(world, tiles, 0)
-		if err != nil {
-			return nil, err
-		}
-		stA := storage.NewMemStore(opt.PageSize)
-		stB := storage.NewMemStore(opt.PageSize)
-		ia, bsA, err := pbsm.BuildIndex(stA, a, tl)
-		if err != nil {
-			return nil, err
-		}
-		ib, bsB, err := pbsm.BuildIndex(stB, b, tl)
-		if err != nil {
-			return nil, err
-		}
-		rep.BuildWall = bsA.Wall + bsB.Wall
-		rep.BuildIO = bsA.IO.Add(bsB.IO)
-		rep.IndexedPages = stA.NumPages() + stB.NumPages()
-		js, err := pbsm.Join(ia, ib, grid.Config{}, emit)
-		if err != nil {
-			return nil, err
-		}
-		rep.JoinWall = js.Wall
-		rep.JoinIO = js.IO
-		rep.Comparisons = js.Comparisons
-		rep.Results = js.Results
-
-	case AlgoRTree:
-		stA := storage.NewMemStore(opt.PageSize)
-		stB := storage.NewMemStore(opt.PageSize)
-		ta, bsA, err := rtree.Bulkload(stA, a, rtree.Config{Fanout: opt.RTreeFanout, World: world})
-		if err != nil {
-			return nil, err
-		}
-		tb, bsB, err := rtree.Bulkload(stB, b, rtree.Config{Fanout: opt.RTreeFanout, World: world})
-		if err != nil {
-			return nil, err
-		}
-		rep.BuildWall = bsA.Wall + bsB.Wall
-		rep.BuildIO = bsA.IO.Add(bsB.IO)
-		rep.IndexedPages = stA.NumPages() + stB.NumPages()
-		js, err := rtree.SyncJoin(ta, tb, rtree.JoinConfig{}, emit)
-		if err != nil {
-			return nil, err
-		}
-		rep.JoinWall = js.Wall
-		rep.JoinIO = js.IO
-		rep.Comparisons = js.Comparisons
-		rep.MetaComps = js.MetaComparisons
-		rep.Results = js.Results
-
-	case AlgoGIPSY:
-		// GIPSY must predetermine the sparse (guide) and dense (indexed)
-		// sides; use the smaller dataset as guide, as its authors intend.
-		sparse, dense := a, b
-		sparseIsA := true
-		if len(a) > len(b) {
-			sparse, dense = b, a
-			sparseIsA = false
-		}
-		st := storage.NewMemStore(opt.PageSize)
-		idx, bs, err := gipsy.BuildIndex(st, dense, gipsy.Config{World: world})
-		if err != nil {
-			return nil, err
-		}
-		rep.BuildWall = bs.Wall
-		rep.BuildIO = bs.IO
-		rep.IndexedPages = st.NumPages()
-		js, err := gipsy.Join(sparse, idx, gipsy.JoinConfig{}, func(s, d Element) {
-			if sparseIsA {
-				emit(s, d)
-			} else {
-				emit(d, s)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		rep.JoinWall = js.Wall
-		rep.JoinIO = js.IO
-		rep.Comparisons = js.Comparisons
-		rep.MetaComps = js.MetaComparisons
-		rep.Results = js.Results
-
-	case AlgoNaive:
-		start := time.Now()
-		pairs := naive.Join(a, b)
-		rep.JoinWall = time.Since(start)
-		rep.Comparisons = uint64(len(a)) * uint64(len(b))
-		rep.Results = uint64(len(pairs))
-		if opt.CollectPairs {
-			rep.Pairs = pairs
-		}
-
-	default:
-		return nil, fmt.Errorf("transformers: unknown algorithm %q", alg)
-	}
-
-	rep.BuildIOTime = disk.IOTime(rep.BuildIO)
-	rep.BuildTotal = rep.BuildWall + rep.BuildIOTime
-	rep.JoinIOTime = disk.IOTime(rep.JoinIO)
-	rep.JoinTotal = rep.JoinWall + rep.JoinIOTime
-	return rep, nil
+	return reportFromResult(res), nil
 }

@@ -118,6 +118,11 @@ func BuildIndex(elems []Element, opt IndexOptions) (*Index, error) {
 // BuildReport returns the index build report.
 func (idx *Index) BuildReport() BuildReport { return idx.build }
 
+// Core exposes the underlying core index, so the serving layer can hand
+// catalog-built indexes to the engine registry (engine.Options.Prebuilt)
+// without rebuilding them per request.
+func (idx *Index) Core() *core.Index { return idx.core }
+
 // Len returns the number of indexed elements.
 func (idx *Index) Len() int { return idx.core.Len() }
 
