@@ -7,6 +7,7 @@
 //	spatialjoin -algo transformers -a uniform:100000 -b massive:100000
 //	spatialjoin -algo pbsm -a dense:50000 -b uniformcluster:50000 -v
 //	spatialjoin -algo all -a axons:60000 -b dendrites:40000
+//	spatialjoin -algo shard-transformers -shard-tiles 8 -a dense:200000 -b uniformcluster:200000
 //
 // Dataset specs are distribution:count with distributions uniform, dense
 // (DenseCluster), uniformcluster, massive (MassiveCluster), axons,
@@ -36,6 +37,8 @@ func main() {
 	seedB := flag.Int64("seed-b", 2, "dataset B seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"TRANSFORMERS join worker count (1 = paper-faithful single thread)")
+	shardTiles := flag.Int("shard-tiles", 0,
+		"tile count K for the shard-* engines (0 = statistics-driven)")
 	verbose := flag.Bool("v", false, "print per-phase I/O detail")
 	flag.Parse()
 
@@ -55,24 +58,32 @@ func main() {
 	}
 	for _, alg := range algos {
 		if *algo == "all" && alg == transformers.AlgoNaive && float64(len(a))*float64(len(b)) > 1e9 {
-			fmt.Printf("%-14s skipped (|A|·|B| too large for the nested loop; run -algo naive explicitly)\n", alg)
+			fmt.Printf("%-18s skipped (|A|·|B| too large for the nested loop; run -algo naive explicitly)\n", alg)
 			continue
 		}
 		rep, err := transformers.Run(alg,
 			append([]transformers.Element(nil), a...),
 			append([]transformers.Element(nil), b...),
-			transformers.RunOptions{Join: transformers.JoinOptions{Parallelism: *parallel}})
+			transformers.RunOptions{
+				ShardTiles: *shardTiles,
+				Join:       transformers.JoinOptions{Parallelism: *parallel},
+			})
 		fatalIf(err)
-		fmt.Printf("%-14s results=%-10d index: %-10v join: %v (in-mem %v + modeled I/O %v)\n",
+		fmt.Printf("%-18s results=%-10d index: %-10v join: %v (in-mem %v + modeled I/O %v)\n",
 			alg, rep.Results, rep.BuildTotal.Round(1e5), rep.JoinTotal.Round(1e5),
 			rep.JoinWall.Round(1e5), rep.JoinIOTime.Round(1e5))
+		if sh := rep.Shard; sh != nil {
+			fmt.Printf("                   shard: inner=%s K=%d (ran %d) workers=%d replicated=%d+%d dedup-drops=%d util=%.0f%%\n",
+				sh.Inner, sh.Tiles, sh.TilesRun, sh.Workers, sh.ReplicatedA, sh.ReplicatedB,
+				sh.DedupDropped, sh.UtilizationPct)
+		}
 		if *verbose {
-			fmt.Printf("               comparisons=%d meta=%d\n", rep.Comparisons, rep.MetaComps)
-			fmt.Printf("               build IO: %v\n", rep.BuildIO)
-			fmt.Printf("               join  IO: %v\n", rep.JoinIO)
+			fmt.Printf("                   comparisons=%d meta=%d\n", rep.Comparisons, rep.MetaComps)
+			fmt.Printf("                   build IO: %v\n", rep.BuildIO)
+			fmt.Printf("                   join  IO: %v\n", rep.JoinIO)
 			if alg == transformers.AlgoTransformers {
 				ts := rep.Transformers
-				fmt.Printf("               transforms: %d role switches, %d node splits, %d unit splits; walk steps %d\n",
+				fmt.Printf("                   transforms: %d role switches, %d node splits, %d unit splits; walk steps %d\n",
 					ts.RoleSwitches, ts.NodeSplits, ts.UnitSplits, ts.WalkSteps)
 			}
 		}

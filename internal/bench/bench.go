@@ -44,6 +44,10 @@ type Config struct {
 	// (names from engine.Names()); empty keeps each experiment's default
 	// set. The feed behind `cmd/experiments -algo`.
 	Algos []string
+	// ShardTiles pins the tile count of sharded meta-engines (0 = the
+	// engine's statistics-driven choice). The feed behind
+	// `cmd/experiments -shard-tiles`.
+	ShardTiles int
 
 	// experiment is the id currently running; runOne stamps it so samples
 	// carry their provenance.
@@ -81,6 +85,16 @@ type Sample struct {
 	Reads           uint64  `json:"io_reads"`
 	RandReads       uint64  `json:"io_rand_reads"`
 	BytesRead       uint64  `json:"io_bytes_read"`
+
+	// Shard fan-out detail, present when a sharded meta-engine ran: the
+	// cut, the boundary replication it cost, what dedup dropped, and how
+	// busy the worker pool stayed.
+	ShardTiles       int     `json:"shard_tiles,omitempty"`
+	ShardTilesRun    int     `json:"shard_tiles_run,omitempty"`
+	ShardWorkers     int     `json:"shard_workers,omitempty"`
+	ShardReplicated  int     `json:"shard_replicated,omitempty"`
+	ShardDedupDrops  uint64  `json:"shard_dedup_drops,omitempty"`
+	ShardUtilization float64 `json:"shard_utilization_pct,omitempty"`
 }
 
 // ms converts a duration to fractional milliseconds for JSON output.
@@ -115,7 +129,7 @@ func sampleFromJoin(algorithm string, parallel int, res *transformers.JoinResult
 
 // sampleFromResult flattens an engine result into a Sample.
 func sampleFromResult(res *engine.Result, parallel int) Sample {
-	return Sample{
+	s := Sample{
 		Algorithm:       res.Engine,
 		Parallel:        parallel,
 		BuildTotalMS:    ms(res.Stats.BuildTotal),
@@ -129,6 +143,15 @@ func sampleFromResult(res *engine.Result, parallel int) Sample {
 		RandReads:       res.Stats.JoinIO.RandReads,
 		BytesRead:       res.Stats.JoinIO.BytesRead,
 	}
+	if sh := res.Stats.Shard; sh != nil {
+		s.ShardTiles = sh.Tiles
+		s.ShardTilesRun = sh.TilesRun
+		s.ShardWorkers = sh.Workers
+		s.ShardReplicated = sh.ReplicatedA + sh.ReplicatedB
+		s.ShardDedupDrops = sh.DedupDropped
+		s.ShardUtilization = sh.UtilizationPct
+	}
+	return s
 }
 
 // scaled converts a paper element count to the run's element count.
@@ -376,6 +399,9 @@ func count(n uint64) string {
 func runAlgo(cfg Config, name string, genA, genB func() []transformers.Element, opt engine.Options) (*engine.Result, error) {
 	if opt.Parallelism == 0 {
 		opt.Parallelism = cfg.Parallel
+	}
+	if opt.ShardTiles == 0 {
+		opt.ShardTiles = cfg.ShardTiles
 	}
 	opt.DiscardPairs = true // the harness only needs the counters
 	res, err := engine.Run(context.Background(), name, genA(), genB(), opt)

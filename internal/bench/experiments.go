@@ -398,11 +398,16 @@ func enginesWorkloads(cfg Config, n int) []struct {
 func runEngines(cfg Config) error {
 	n := cfg.scaled(20 * paperM)
 	algos := cfg.filterAlgos(engine.Names())
-	t := &table{header: []string{"workload", "engine", "predicted", "build", "join total", "candidates", "pages", "planner pick"}}
+	t := &table{header: []string{"workload", "engine", "predicted", "build", "join total", "candidates", "pages", "shard", "planner pick"}}
 	for _, w := range enginesWorkloads(cfg, n) {
 		sa := planner.Analyze(w.genA())
 		sb := planner.Analyze(w.genB())
-		decision := planner.Plan(sa, sb, planner.Config{})
+		// The prediction must describe the execution the loop below runs:
+		// same tile pin, same worker budget (0 = all cores on both sides).
+		decision := planner.Plan(sa, sb, planner.Config{
+			ShardTiles:   cfg.ShardTiles,
+			ShardWorkers: cfg.Parallel,
+		})
 		predicted := make(map[string]float64, len(decision.Scores))
 		for _, s := range decision.Scores {
 			predicted[s.Engine] = s.CostMS
@@ -419,7 +424,8 @@ func runEngines(cfg Config) error {
 			// Not via runAlgo: the sample needs the workload and
 			// prediction stamps, so record it here instead.
 			rep, err := engine.Run(context.Background(), name, w.genA(), w.genB(),
-				engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10), Parallelism: cfg.Parallel, DiscardPairs: true})
+				engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10), Parallelism: cfg.Parallel,
+					ShardTiles: cfg.ShardTiles, DiscardPairs: true})
 			if err != nil {
 				return err
 			}
@@ -434,8 +440,13 @@ func runEngines(cfg Config) error {
 				predCol = fmt.Sprintf("%.1fms", p)
 				s.PlannerCostMS = p
 			}
+			shardCol := "-"
+			if sh := rep.Stats.Shard; sh != nil {
+				shardCol = fmt.Sprintf("K=%d repl=%d drop=%d util=%.0f%%",
+					sh.Tiles, sh.ReplicatedA+sh.ReplicatedB, sh.DedupDropped, sh.UtilizationPct)
+			}
 			t.addRow(w.name, name, predCol, dur(rep.Stats.BuildTotal),
-				dur(rep.Stats.JoinTotal), count(rep.Stats.Candidates), count(rep.Stats.PagesRead), pick)
+				dur(rep.Stats.JoinTotal), count(rep.Stats.Candidates), count(rep.Stats.PagesRead), shardCol, pick)
 			cfg.record(s)
 		}
 	}

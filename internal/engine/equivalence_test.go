@@ -6,64 +6,27 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/engine/enginetest"
 	"repro/internal/geom"
 	"repro/internal/naive"
 )
 
-// equivalenceWorkloads are the distributions the paper's robustness claim
-// spans: uniform, clustered (dense-vs-uniform clusters, Fig. 11) and heavily
-// skewed (MassiveCluster, Fig. 13). Sizes are chosen so the naive reference
-// stays fast while every partitioner still builds a multi-page, multi-node
-// structure.
-func equivalenceWorkloads(n int) []struct {
-	name string
-	a, b []geom.Element
-} {
-	return []struct {
-		name string
-		a, b []geom.Element
-	}{
-		{
-			name: "uniform",
-			a:    inflate(datagen.Uniform(datagen.Config{N: n, Seed: 11}), 8),
-			b:    inflate(datagen.Uniform(datagen.Config{N: n, Seed: 12}), 8),
-		},
-		{
-			name: "clustered",
-			a:    inflate(datagen.DenseCluster(datagen.Config{N: n, Seed: 13}), 3),
-			b:    inflate(datagen.UniformCluster(datagen.Config{N: n, Seed: 14}), 3),
-		},
-		{
-			name: "skewed",
-			a:    inflate(datagen.MassiveCluster(datagen.Config{N: n, Seed: 15}), 3),
-			b:    inflate(datagen.MassiveCluster(datagen.Config{N: n, Seed: 16}), 3),
-		},
-	}
-}
-
-// inflate grows every box so sparse uniform workloads still produce pairs.
-func inflate(elems []geom.Element, by float64) []geom.Element {
-	for i := range elems {
-		elems[i].Box = elems[i].Box.Expand(by)
-	}
-	return elems
-}
-
 // TestEngineEquivalence is the cross-engine property test: every registered
-// engine must produce the identical sorted pair set on every distribution.
-// This is what catches silent divergence in the adapters — a dedup bug, a
-// lost orientation, a partition-boundary miss — the moment it appears.
+// engine must produce the identical sorted pair set on every distribution
+// (the shared enginetest workloads: uniform, clustered, skewed). This is
+// what catches silent divergence in the adapters — a dedup bug, a lost
+// orientation, a partition-boundary miss — the moment it appears.
 func TestEngineEquivalence(t *testing.T) {
-	for _, w := range equivalenceWorkloads(1500) {
+	for _, w := range enginetest.Workloads(1500, 10) {
 		w := w
-		t.Run(w.name, func(t *testing.T) {
-			reference := naive.Join(w.a, w.b)
+		t.Run(w.Name, func(t *testing.T) {
+			reference := naive.Join(w.A, w.B)
 			if len(reference) == 0 {
 				t.Fatalf("degenerate workload: no reference pairs")
 			}
 			for _, name := range Names() {
 				res, err := Run(context.Background(), name,
-					append([]geom.Element(nil), w.a...), append([]geom.Element(nil), w.b...), Options{})
+					enginetest.Copy(w.A), enginetest.Copy(w.B), Options{})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -72,11 +35,11 @@ func TestEngineEquivalence(t *testing.T) {
 				}
 				if !naive.Equal(res.Pairs, append([]geom.Pair(nil), reference...)) {
 					t.Errorf("%s on %s: %d pairs, reference has %d (or same count, different set)",
-						name, w.name, len(res.Pairs), len(reference))
+						name, w.Name, len(res.Pairs), len(reference))
 				}
 				if res.Stats.Refinements != uint64(len(reference)) {
 					t.Errorf("%s on %s: Refinements=%d, want %d",
-						name, w.name, res.Stats.Refinements, len(reference))
+						name, w.Name, res.Stats.Refinements, len(reference))
 				}
 			}
 		})
@@ -135,7 +98,10 @@ func TestEngineEquivalenceParallel(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{Transformers, PBSM, RTree, GIPSY, Grid, Naive}
+	// The built-ins in the paper's presentation order, then the sharded
+	// meta-engines (registered by internal/engine/shard, imported by this
+	// package's external property-test file).
+	want := []string{Transformers, PBSM, RTree, GIPSY, Grid, Naive, ShardTransformers, ShardGrid}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -157,6 +123,12 @@ func TestRegistry(t *testing.T) {
 	}
 	if c := mustGet(t, Naive).Capabilities(); !c.Reference || !c.InMemory {
 		t.Errorf("naive capabilities wrong: %+v", c)
+	}
+	if c := mustGet(t, ShardTransformers).Capabilities(); !c.Parallel || !c.Adaptive || c.InMemory {
+		t.Errorf("shard-transformers capabilities wrong: %+v", c)
+	}
+	if c := mustGet(t, ShardGrid).Capabilities(); !c.Parallel || !c.InMemory {
+		t.Errorf("shard-grid capabilities wrong: %+v", c)
 	}
 }
 
@@ -182,8 +154,8 @@ func TestEngineContextCancellation(t *testing.T) {
 }
 
 func TestEngineDiscardPairs(t *testing.T) {
-	a := inflate(datagen.Uniform(datagen.Config{N: 800, Seed: 51}), 10)
-	b := inflate(datagen.Uniform(datagen.Config{N: 800, Seed: 52}), 10)
+	a := enginetest.Inflate(datagen.Uniform(datagen.Config{N: 800, Seed: 51}), 10)
+	b := enginetest.Inflate(datagen.Uniform(datagen.Config{N: 800, Seed: 52}), 10)
 	for _, name := range Names() {
 		res, err := Run(context.Background(), name,
 			append([]geom.Element(nil), a...), append([]geom.Element(nil), b...),

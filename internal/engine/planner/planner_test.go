@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/engine/enginetest"
 	"repro/internal/geom"
 )
 
@@ -74,31 +75,27 @@ func scoreOf(t *testing.T, d Decision, name string) float64 {
 
 // TestPlanChoosesTransformersOnNonUniform is the acceptance property: on
 // clustered and on skewed serving-scale datasets the planner must predict
-// every fixed-layout engine slower and select TRANSFORMERS.
+// every fixed-layout engine slower and select the adaptive join — either
+// single-node TRANSFORMERS or its sharded form (whichever the worker budget
+// favors; both run the same robust algorithm).
 func TestPlanChoosesTransformersOnNonUniform(t *testing.T) {
 	// Serving scale: above the in-memory cap, so the choice is among the
 	// disk-based engines.
 	n := 160_000
+	clusteredA, clusteredB := enginetest.ClusteredPair(n, 6, 7)
+	skewedA, skewedB := enginetest.SkewedPair(n, 8, 9)
 	workloads := []struct {
 		name string
 		a, b DatasetStats
 	}{
-		{
-			name: "clustered",
-			a:    Analyze(datagen.DenseCluster(datagen.Config{N: n, Seed: 6})),
-			b:    Analyze(datagen.UniformCluster(datagen.Config{N: n, Seed: 7})),
-		},
-		{
-			name: "skewed",
-			a:    Analyze(datagen.MassiveCluster(datagen.Config{N: n, Seed: 8})),
-			b:    Analyze(datagen.MassiveCluster(datagen.Config{N: n, Seed: 9})),
-		},
+		{name: "clustered", a: Analyze(clusteredA), b: Analyze(clusteredB)},
+		{name: "skewed", a: Analyze(skewedA), b: Analyze(skewedB)},
 	}
 	for _, w := range workloads {
 		for _, prebuilt := range []bool{false, true} {
 			d := Plan(w.a, w.b, Config{PrebuiltTransformers: prebuilt})
-			if d.Engine != engine.Transformers {
-				t.Errorf("%s (prebuilt=%v): planner chose %q, want transformers\nscores: %+v",
+			if d.Engine != engine.Transformers && d.Engine != engine.ShardTransformers {
+				t.Errorf("%s (prebuilt=%v): planner chose %q, want the transformers family\nscores: %+v",
 					w.name, prebuilt, d.Engine, d.Scores)
 				continue
 			}
@@ -127,13 +124,13 @@ func TestPlanMeasuredAgreement(t *testing.T) {
 	}{
 		{
 			name: "clustered",
-			genA: func() []geom.Element { return datagen.DenseCluster(datagen.Config{N: n, Seed: 10}) },
-			genB: func() []geom.Element { return datagen.UniformCluster(datagen.Config{N: n, Seed: 11}) },
+			genA: func() []geom.Element { a, _ := enginetest.ClusteredPair(n, 10, 11); return a },
+			genB: func() []geom.Element { _, b := enginetest.ClusteredPair(n, 10, 11); return b },
 		},
 		{
 			name: "skewed",
-			genA: func() []geom.Element { return datagen.MassiveCluster(datagen.Config{N: n, Seed: 12}) },
-			genB: func() []geom.Element { return datagen.MassiveCluster(datagen.Config{N: n, Seed: 13}) },
+			genA: func() []geom.Element { a, _ := enginetest.SkewedPair(n, 12, 13); return a },
+			genB: func() []geom.Element { _, b := enginetest.SkewedPair(n, 12, 13); return b },
 		},
 	}
 	for _, w := range workloads {
@@ -174,13 +171,14 @@ func TestPlanSmallUniformPrefersInMemory(t *testing.T) {
 }
 
 // TestPlanInMemoryCap: the same distribution above the cap must exclude the
-// in-memory engines and fall to the robust disk-based default.
+// in-memory engines and fall to the robust disk-based default (single-node
+// or sharded, depending on the worker budget).
 func TestPlanInMemoryCap(t *testing.T) {
 	a := Analyze(datagen.Uniform(datagen.Config{N: 200_000, Seed: 16}))
 	b := Analyze(datagen.Uniform(datagen.Config{N: 200_000, Seed: 17}))
 	d := Plan(a, b, Config{})
-	if d.Engine != engine.Transformers {
-		t.Errorf("above cap: chose %q, want transformers\nscores: %+v", d.Engine, d.Scores)
+	if d.Engine != engine.Transformers && d.Engine != engine.ShardTransformers {
+		t.Errorf("above cap: chose %q, want the transformers family\nscores: %+v", d.Engine, d.Scores)
 	}
 	if g := scoreOf(t, d, engine.Grid); !math.IsInf(g, 1) {
 		t.Errorf("grid over the cap must score +Inf, got %v", g)

@@ -1,0 +1,492 @@
+// Package shard is the sharded execution tier: a meta-engine that splits the
+// joined space into K tiles along Hilbert-order boundaries, runs any
+// registered inner engine per tile on a worker pool, and merges the per-tile
+// results with reference-point boundary dedup so every pair is reported
+// exactly once.
+//
+// The cut is density-balanced: tile boundaries are equal-weight cuts of the
+// planner's Hilbert-cell histogram over both datasets, so a clustered
+// distribution — the paper's whole subject — is split across tiles instead
+// of landing in one hot shard. Because a Hilbert range is a contiguous run
+// of space, each tile is a union of grid cells with good locality, and an
+// MBR is replicated only to the tiles whose cells it overlaps.
+//
+// Correctness does not depend on the cut: a candidate pair's reference point
+// (the low corner of the two boxes' intersection) falls in exactly one grid
+// cell, hence exactly one tile, and both elements of the pair are always
+// replicated to that tile — so filtering each tile's output to the pairs
+// whose reference point it owns yields every pair exactly once, for any K
+// and any worker count. The classic reference-point method (PBSM [3], SOLAR)
+// lifted from uniform grids to Hilbert-balanced tiles.
+//
+// Element IDs must be unique within each dataset (the repository-wide
+// invariant): dedup maps result IDs back to boxes to locate reference
+// points.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/planner"
+	"repro/internal/geom"
+	"repro/internal/hilbert"
+)
+
+// MaxTiles caps the configured tile count: far above any useful fan-out, low
+// enough that per-tile bookkeeping stays trivial. It aliases the engine-level
+// contract constant so cache keying above normalizes with the same bound.
+const MaxTiles = engine.ShardMaxTiles
+
+// maxCoverCells bounds the per-element cell walk during assignment: an MBR
+// covering more analysis cells than this (a cross-shard giant) is replicated
+// to every tile outright instead of enumerating its cells. Reference-point
+// dedup makes over-replication harmless; this only caps assignment cost.
+const maxCoverCells = 4096
+
+func init() {
+	// The two serving-relevant inner engines: the robust adaptive join and
+	// the in-memory hash join. engine.Register accepts more via New.
+	engine.Register(New(engine.Transformers))
+	engine.Register(New(engine.Grid))
+}
+
+// Engine is the sharded meta-engine around one registered inner engine.
+type Engine struct {
+	inner string
+}
+
+// New returns the sharded meta-engine for the named inner engine, named
+// "shard-<inner>". The inner engine is resolved per join, so registration
+// order does not matter.
+func New(inner string) *Engine { return &Engine{inner: inner} }
+
+// Name implements engine.Joiner.
+func (e *Engine) Name() string { return engine.ShardPrefix + e.inner }
+
+// Inner returns the name of the engine that runs per tile.
+func (e *Engine) Inner() string { return e.inner }
+
+// Capabilities reports the inner engine's profile with Parallel set: the
+// fan-out honors Options.Parallelism regardless of the inner engine.
+func (e *Engine) Capabilities() engine.Capabilities {
+	caps := engine.Capabilities{Parallel: true}
+	if ij, err := engine.Get(e.inner); err == nil {
+		ic := ij.Capabilities()
+		caps.Adaptive = ic.Adaptive
+		caps.InMemory = ic.InMemory
+	}
+	return caps
+}
+
+// Join implements engine.Joiner: partition, fan out, dedup, merge.
+func (e *Engine) Join(ctx context.Context, a, b []geom.Element, opt engine.Options) (*engine.Result, error) {
+	if _, err := engine.Get(e.inner); err != nil {
+		return nil, fmt.Errorf("shard: inner %w", err)
+	}
+	// The shared adapter preamble applies the §VIII enlarged-objects
+	// reduction before partitioning, so tiling, replication and reference
+	// points all see the grown boxes; the inner engines then run a plain
+	// intersection join on them (Distance zeroed below).
+	a, b, opt, err := engine.Prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt.Distance = 0
+	name := e.Name()
+	if len(a) == 0 || len(b) == 0 {
+		res := &engine.Result{Engine: name}
+		res.Stats.Shard = engine.DegenerateShardStats(e.inner)
+		res.Stats.Finish(opt.Disk)
+		return res, nil
+	}
+
+	k := opt.ShardTiles
+	if k <= 0 {
+		k = planner.ShardTiles(planner.Analyze(a), planner.Analyze(b))
+	}
+	if k > MaxTiles {
+		k = MaxTiles
+	}
+	if k <= 1 {
+		return e.single(ctx, a, b, opt)
+	}
+	return e.fanout(ctx, a, b, opt, k)
+}
+
+// single runs the inner engine directly (K=1): no replication, no dedup —
+// the degenerate tiling every sharded result is provably identical to.
+func (e *Engine) single(ctx context.Context, a, b []geom.Element, opt engine.Options) (*engine.Result, error) {
+	innerOpt := e.innerOptions(opt)
+	innerOpt.DiscardPairs = opt.DiscardPairs // no dedup at K=1, pairs not needed
+	// With one tile there is no pool to feed; hand the whole worker budget
+	// to the inner engine instead of pinning it single-threaded.
+	innerOpt.Parallelism = opt.Parallelism
+	res, err := engine.Run(ctx, e.inner, a, b, innerOpt)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	res.Engine = e.Name()
+	res.Stats.Shard = &engine.ShardStats{
+		Inner: e.inner, Tiles: 1, TilesRun: 1, Workers: workers, UtilizationPct: 100,
+		// Same quantities as a fan-out tile record: measured in-memory
+		// execution (inner build + join) and the tile store's modeled disk
+		// time, so K=1 and K>1 records stay comparable.
+		PerTile: []engine.TileStats{{
+			ElementsA:   len(a),
+			ElementsB:   len(b),
+			Pairs:       res.Stats.Refinements,
+			WallMS:      float64(res.Stats.BuildWall+res.Stats.JoinWall) / float64(time.Millisecond),
+			ModeledIOMS: float64(res.Stats.BuildIOTime+res.Stats.JoinIOTime) / float64(time.Millisecond),
+		}},
+	}
+	return res, nil
+}
+
+// innerOptions derives the per-tile option set: same pricing and sizing, the
+// whole world (PBSM-style inners need it to cover both tile subsets), one
+// thread per tile (the pool provides the parallelism), and pairs always
+// collected — dedup needs them even when the caller discards.
+func (e *Engine) innerOptions(opt engine.Options) engine.Options {
+	inner := opt
+	inner.World = opt.World
+	inner.Distance = 0
+	inner.Parallelism = 1
+	inner.ShardTiles = 0
+	inner.Prebuilt = nil
+	inner.DiscardPairs = false
+	return inner
+}
+
+// tiling is one density-balanced Hilbert cut of the world.
+type tiling struct {
+	mapper *hilbert.Mapper
+	order  int
+	// cuts[i] .. cuts[i+1] is tile i's half-open Hilbert-value range;
+	// len(cuts) == K+1, cuts[0] == 0, cuts[K] == total cells.
+	cuts []uint64
+	// cellTile maps every grid cell's Hilbert value to its tile — the
+	// assignment walk and the per-pair dedup filter both sit on hot paths,
+	// so tile lookup must be an array load, not a search over cuts.
+	cellTile []uint16
+}
+
+// newTiling places K-1 boundaries at equal-weight positions of the combined
+// Hilbert-cell histogram of both datasets. Tiles beyond the data's Hilbert
+// span come out empty — harmless, they are skipped at execution.
+func newTiling(a, b []geom.Element, world geom.Box, k int) *tiling {
+	order := planner.ShardGridOrder
+	w := planner.HilbertWeights(a, world, order)
+	for h, c := range planner.HilbertWeights(b, world, order) {
+		w[h] += c
+	}
+	var total uint64
+	for _, c := range w {
+		total += uint64(c)
+	}
+	cells := uint64(len(w))
+	cuts := make([]uint64, k+1)
+	cuts[k] = cells
+	if total == 0 {
+		// No centers (degenerate): equal cell ranges.
+		for i := 1; i < k; i++ {
+			cuts[i] = cells * uint64(i) / uint64(k)
+		}
+		return finishTiling(world, order, cuts)
+	}
+	var acc uint64
+	next := 1
+	for h := uint64(0); h < cells && next < k; h++ {
+		acc += uint64(w[h])
+		for next < k && acc*uint64(k) >= total*uint64(next) {
+			cuts[next] = h + 1
+			next++
+		}
+	}
+	for ; next < k; next++ {
+		cuts[next] = cells
+	}
+	return finishTiling(world, order, cuts)
+}
+
+// finishTiling materializes the cell-to-tile table from the cuts.
+func finishTiling(world geom.Box, order int, cuts []uint64) *tiling {
+	t := &tiling{
+		mapper:   hilbert.NewMapper(world, order),
+		order:    order,
+		cuts:     cuts,
+		cellTile: make([]uint16, cuts[len(cuts)-1]),
+	}
+	for ti := 0; ti < len(cuts)-1; ti++ {
+		for h := cuts[ti]; h < cuts[ti+1]; h++ {
+			t.cellTile[h] = uint16(ti)
+		}
+	}
+	return t
+}
+
+// tiles returns K.
+func (t *tiling) tiles() int { return len(t.cuts) - 1 }
+
+// tileOf maps a Hilbert value to its tile index.
+func (t *tiling) tileOf(h uint64) int { return int(t.cellTile[h]) }
+
+// tileOfPoint maps a point to the tile owning its grid cell.
+func (t *tiling) tileOfPoint(p geom.Point) int {
+	return t.tileOf(t.mapper.Value(p))
+}
+
+// assign distributes elements to every tile whose cells their box overlaps,
+// using a generation-stamped scratch array to dedupe tile hits per element.
+// Returns the per-tile element slices and the number of extra copies.
+func (t *tiling) assign(elems []geom.Element) (tiles [][]geom.Element, replicated int) {
+	k := t.tiles()
+	tiles = make([][]geom.Element, k)
+	stamp := make([]int, k)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for gen, e := range elems {
+		lx, ly, lz := t.mapper.Cell(e.Box.Lo)
+		hx, hy, hz := t.mapper.Cell(e.Box.Hi)
+		span := uint64(hx-lx+1) * uint64(hy-ly+1) * uint64(hz-lz+1)
+		if span > maxCoverCells {
+			// Cross-shard giant: replicate everywhere rather than walk
+			// thousands of cells. Dedup keeps the result exact.
+			for i := 0; i < k; i++ {
+				tiles[i] = append(tiles[i], e)
+			}
+			replicated += k - 1
+			continue
+		}
+		n := 0
+		for x := lx; x <= hx; x++ {
+			for y := ly; y <= hy; y++ {
+				for z := lz; z <= hz; z++ {
+					ti := t.tileOf(hilbert.Encode(t.order, x, y, z))
+					if stamp[ti] != gen {
+						stamp[ti] = gen
+						tiles[ti] = append(tiles[ti], e)
+						n++
+					}
+				}
+			}
+		}
+		replicated += n - 1
+	}
+	return tiles, replicated
+}
+
+// fanout is the K>1 path: cut, assign, run tiles on the pool, dedup, merge.
+func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Options, k int) (*engine.Result, error) {
+	partStart := time.Now()
+	tl := newTiling(a, b, opt.World, k)
+	tilesA, replA := tl.assign(a)
+	tilesB, replB := tl.assign(b)
+	boxesA := boxesByID(a)
+	boxesB := boxesByID(b)
+	partWall := time.Since(partStart)
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runnable := 0
+	for i := 0; i < k; i++ {
+		if len(tilesA[i]) > 0 && len(tilesB[i]) > 0 {
+			runnable++
+		}
+	}
+	if workers > runnable && runnable > 0 {
+		workers = runnable
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type tileResult struct {
+		res     *engine.Result
+		kept    []geom.Pair
+		dropped uint64
+		wall    time.Duration
+	}
+	results := make([]tileResult, k)
+	innerOpt := e.innerOptions(opt)
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	queue := make(chan int)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range queue {
+				start := time.Now()
+				res, err := engine.Run(cctx, e.inner, tilesA[ti], tilesB[ti], innerOpt)
+				if err != nil {
+					errOnce.Do(func() { runErr = err; cancel() })
+					return
+				}
+				// Reference-point dedup: keep exactly the pairs whose
+				// intersection's low corner falls in this tile.
+				kept := res.Pairs[:0]
+				var dropped uint64
+				for _, p := range res.Pairs {
+					if tl.tileOfPoint(refPoint(boxesA[p.A], boxesB[p.B])) == ti {
+						kept = append(kept, p)
+					} else {
+						dropped++
+					}
+				}
+				results[ti] = tileResult{res: res, kept: kept, dropped: dropped, wall: time.Since(start)}
+			}
+		}()
+	}
+	phaseStart := time.Now()
+feed:
+	for ti := 0; ti < k; ti++ {
+		if len(tilesA[ti]) == 0 || len(tilesB[ti]) == 0 {
+			continue // no pairs can originate here
+		}
+		select {
+		case queue <- ti:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	phaseWall := time.Since(phaseStart)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &engine.Result{Engine: e.Name()}
+	st := &out.Stats
+	shard := &engine.ShardStats{
+		Inner: e.inner, Tiles: k, Workers: workers,
+		ReplicatedA: replA, ReplicatedB: replB,
+		PerTile: make([]engine.TileStats, 0, k),
+	}
+	var busy time.Duration
+	var unique uint64
+	tileIO := make([]time.Duration, 0, k) // per-tile modeled disk time
+	for ti := 0; ti < k; ti++ {
+		ts := engine.TileStats{Tile: ti, ElementsA: len(tilesA[ti]), ElementsB: len(tilesB[ti])}
+		if r := results[ti].res; r != nil {
+			shard.TilesRun++
+			ts.Pairs = uint64(len(results[ti].kept))
+			ts.Dropped = results[ti].dropped
+			ts.WallMS = float64(results[ti].wall) / float64(time.Millisecond)
+			io := r.Stats.BuildIOTime + r.Stats.JoinIOTime
+			ts.ModeledIOMS = float64(io) / float64(time.Millisecond)
+			tileIO = append(tileIO, io)
+			busy += results[ti].wall
+			unique += ts.Pairs
+			shard.DedupDropped += ts.Dropped
+			// Inner builds and their I/O are part of tile execution, not a
+			// separate phase: raw counters are summed (PagesRead stays the
+			// true total), wall time is already inside phaseWall.
+			st.IndexedPages += r.Stats.IndexedPages
+			st.JoinIO = st.JoinIO.Add(r.Stats.BuildIO).Add(r.Stats.JoinIO)
+			st.Candidates += r.Stats.Candidates
+			st.MetaComparisons += r.Stats.MetaComparisons
+			if !opt.DiscardPairs {
+				out.Pairs = append(out.Pairs, results[ti].kept...)
+			}
+		}
+		shard.PerTile = append(shard.PerTile, ts)
+	}
+	if phaseWall > 0 && workers > 0 {
+		shard.UtilizationPct = 100 * float64(busy) / (float64(workers) * float64(phaseWall))
+		if shard.UtilizationPct > 100 {
+			shard.UtilizationPct = 100
+		}
+	}
+	// The partitioning pass is shard's own build phase (pure CPU, no index
+	// pages of its own).
+	st.BuildWall = partWall
+	st.BuildTotal = partWall
+	st.JoinWall = phaseWall
+	st.Refinements = unique
+	st.Shard = shard
+	// Each tile joins against its own store: modeled disk time is the
+	// worker-pool makespan of per-tile modeled I/O (greedy longest-first
+	// assignment), not the serial sum — the modeled counterpart of the
+	// measured phase wall.
+	st.JoinIOTime = makespan(tileIO, workers)
+	st.JoinTotal = st.JoinWall + st.JoinIOTime
+	st.PagesRead = st.JoinIO.Reads
+	return out, nil
+}
+
+// makespan is the completion time of scheduling the given task durations on
+// n parallel workers, longest task first onto the least-loaded worker — the
+// deterministic model of the pool the tiles actually ran on.
+func makespan(tasks []time.Duration, n int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	sorted := append([]time.Duration(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	load := make([]time.Duration, n)
+	for _, d := range sorted {
+		min := 0
+		for w := 1; w < n; w++ {
+			if load[w] < load[min] {
+				min = w
+			}
+		}
+		load[min] += d
+	}
+	max := load[0]
+	for _, l := range load[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// refPoint is the low corner of the intersection of two (intersecting)
+// boxes — the unique point that decides which tile reports the pair.
+func refPoint(a, b geom.Box) geom.Point {
+	var p geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		if a.Lo[d] > b.Lo[d] {
+			p[d] = a.Lo[d]
+		} else {
+			p[d] = b.Lo[d]
+		}
+	}
+	return p
+}
+
+// boxesByID indexes a dataset's boxes by element ID for dedup lookups.
+func boxesByID(elems []geom.Element) map[uint64]geom.Box {
+	m := make(map[uint64]geom.Box, len(elems))
+	for _, e := range elems {
+		m[e.ID] = e.Box
+	}
+	return m
+}

@@ -1,0 +1,64 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/enginetest"
+)
+
+// BenchmarkShardScaling compares the single-node adaptive join against its
+// sharded form at growing tile counts on the clustered 100K-element workload
+// (50K DenseCluster vs 50K UniformCluster, the paper's Fig. 11 pairing).
+// Two numbers matter per case: wall time (parallel speedup, scales with
+// GOMAXPROCS) and the repository's modeled-time currency reported as
+// "modeled-ms/op" (in-memory work + modeled disk I/O), where sharding wins
+// even single-threaded — K smaller spatially-local indexes are cheaper to
+// build and read than one global one.
+func BenchmarkShardScaling(b *testing.B) {
+	a0, b0 := enginetest.ClusteredPair(50_000, 61, 62)
+	cases := []struct {
+		name  string
+		algo  string
+		tiles int
+	}{
+		{"single-node", engine.Transformers, 0},
+		{"shard-K2", engine.ShardTransformers, 2},
+		{"shard-K4", engine.ShardTransformers, 4},
+		{"shard-K8", engine.ShardTransformers, 8},
+		{"shard-K16", engine.ShardTransformers, 16},
+	}
+	for _, c := range cases {
+		c := c
+		// The pool is sized to the fan-out: each tile gets a worker (and
+		// its own modeled store), so modeled-ms reports the K-disk
+		// deployment while wall time reflects the cores actually present.
+		workers := c.tiles
+		if workers < runtime.GOMAXPROCS(0) {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
+			var modeled time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ca, cb := enginetest.Copy(a0), enginetest.Copy(b0) // engines reorder inputs
+				b.StartTimer()
+				res, err := engine.Run(context.Background(), c.algo, ca, cb, engine.Options{
+					ShardTiles:   c.tiles,
+					Parallelism:  workers,
+					DiscardPairs: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled += res.Stats.BuildTotal + res.Stats.JoinTotal
+			}
+			b.ReportMetric(float64(modeled.Milliseconds())/float64(b.N), "modeled-ms/op")
+		})
+	}
+}

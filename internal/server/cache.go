@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/engine/planner"
 	"repro/transformers"
 )
@@ -30,6 +31,9 @@ type JoinKey struct {
 	Predicate          string // "intersects" or "distance"
 	Distance           float64
 	Algorithm          string // resolved engine name
+	// ShardTiles is the requested fan-out of a sharded engine (0 = auto).
+	// The pair set is invariant in it, but the cached cost summary is not.
+	ShardTiles int
 }
 
 // PlannerInfo reports how an "auto" request was resolved.
@@ -39,6 +43,9 @@ type PlannerInfo struct {
 	// Fallback is set when the robust default won over a nominally
 	// cheaper engine (see planner.Decision).
 	Fallback bool `json:"fallback,omitempty"`
+	// ShardTiles is the tile count the sharded engines were priced at; a
+	// sharded execution reuses it so the plan and the run agree.
+	ShardTiles int `json:"shard_tiles,omitempty"`
 	// Scores is the full ranked prediction, cheapest first.
 	Scores []planner.Score `json:"scores"`
 }
@@ -57,6 +64,10 @@ type JoinSummary struct {
 	// BuildMS is the per-request index build cost; zero on the
 	// transformers path, whose indexes live in the catalog.
 	BuildMS float64 `json:"build_ms,omitempty"`
+	// Shard is the fan-out record when a sharded meta-engine executed the
+	// join: tiles, replication, dedup drops, worker utilization (per-tile
+	// detail included).
+	Shard *engine.ShardStats `json:"shard,omitempty"`
 	// Planner is present when the request asked for "auto".
 	Planner *PlannerInfo `json:"planner,omitempty"`
 }

@@ -72,12 +72,15 @@ type joinRequest struct {
 	// Algorithm names the engine: any registered engine name, "auto" (the
 	// planner picks from cached dataset statistics), or empty for the
 	// daemon default. The response reports the resolved choice.
-	Algorithm    string  `json:"algorithm,omitempty"`
-	Distance     float64 `json:"distance,omitempty"`
-	Parallelism  int     `json:"parallelism,omitempty"`
-	Stream       bool    `json:"stream,omitempty"`
-	IncludePairs bool    `json:"include_pairs,omitempty"`
-	NoCache      bool    `json:"no_cache,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Distance  float64 `json:"distance,omitempty"`
+	// ShardTiles pins the tile count of the sharded engines (0 = the
+	// statistics-driven choice); other engines ignore it.
+	ShardTiles   int  `json:"shard_tiles,omitempty"`
+	Parallelism  int  `json:"parallelism,omitempty"`
+	Stream       bool `json:"stream,omitempty"`
+	IncludePairs bool `json:"include_pairs,omitempty"`
+	NoCache      bool `json:"no_cache,omitempty"`
 }
 
 type pairDTO struct {
@@ -227,7 +230,7 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "both dataset names a and b are required"})
 		return
 	}
-	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache, Algorithm: req.Algorithm}
+	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache, Algorithm: req.Algorithm, ShardTiles: req.ShardTiles}
 	if distance {
 		if req.Distance <= 0 {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance must be positive"})

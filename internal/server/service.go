@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,12 @@ type Service struct {
 	joins        atomic.Uint64
 	autoJoins    atomic.Uint64
 	rangeQueries atomic.Uint64
+
+	// Shard fan-out aggregates across executed sharded joins.
+	shardJoins      atomic.Uint64
+	shardTiles      atomic.Uint64
+	shardReplicated atomic.Uint64
+	shardDedupDrops atomic.Uint64
 
 	// engineJoins counts executed (non-cached) joins per engine name.
 	engineMu    sync.Mutex
@@ -183,6 +190,9 @@ type JoinParams struct {
 	// AlgorithmAuto to let the planner pick, or empty for the service
 	// default.
 	Algorithm string
+	// ShardTiles pins the tile count K of the sharded meta-engines (0 =
+	// the engine's statistics-driven choice); other engines ignore it.
+	ShardTiles int
 }
 
 // JoinOutcome is one join result: pairs in A/B orientation, the cost
@@ -193,9 +203,12 @@ type JoinOutcome struct {
 	Cached  bool
 }
 
-// joinKey assembles the cache key for one join execution.
-func joinKey(a, b string, va, vb uint64, distance float64, algorithm string) JoinKey {
-	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance, Algorithm: algorithm}
+// joinKey assembles the cache key for one join execution. ShardTiles is part
+// of the key: the pair set is invariant in it (a tested property), but the
+// cached cost summary describes one concrete fan-out, and serving a K=4
+// execution record for a K=16 request would misreport what ran.
+func joinKey(a, b string, va, vb uint64, distance float64, algorithm string, shardTiles int) JoinKey {
+	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance, Algorithm: algorithm, ShardTiles: shardTiles}
 	if distance > 0 {
 		key.Predicate = "distance"
 	}
@@ -206,8 +219,11 @@ func joinKey(a, b string, va, vb uint64, distance float64, algorithm string) Joi
 // engine name, consulting the planner on "auto". The planner prices the
 // TRANSFORMERS engine without a build phase (its indexes live in the
 // catalog) while every other engine pays a per-request build — the serving
-// economics, not just the algorithmic ones.
-func (s *Service) resolveAlgorithm(a, b string, requested string) (string, *PlannerInfo, error) {
+// economics, not just the algorithmic ones. The plan must describe the
+// execution that would actually run: a pinned shard tile count is priced as
+// pinned, and shard fan-out is priced at this join's resolved worker count
+// (workers <= 0 means all cores, the planner's default budget).
+func (s *Service) resolveAlgorithm(a, b string, requested string, shardTiles, workers int) (string, *PlannerInfo, error) {
 	algo := requested
 	if algo == "" {
 		algo = s.cfg.DefaultAlgorithm
@@ -227,11 +243,16 @@ func (s *Service) resolveAlgorithm(a, b string, requested string) (string, *Plan
 		return "", nil, err
 	}
 	s.autoJoins.Add(1)
+	if workers < 0 {
+		workers = 0 // all cores: the planner's own default budget
+	}
 	d := planner.Plan(sa, sb, planner.Config{
 		PageSize:             s.cfg.PageSize,
 		PrebuiltTransformers: true,
+		ShardTiles:           shardTiles,
+		ShardWorkers:         workers,
 	})
-	return d.Engine, &PlannerInfo{Requested: AlgorithmAuto, Fallback: d.Fallback, Scores: d.Scores}, nil
+	return d.Engine, &PlannerInfo{Requested: AlgorithmAuto, Fallback: d.Fallback, ShardTiles: d.ShardTiles, Scores: d.Scores}, nil
 }
 
 // countEngineJoin tallies one executed join per engine for /stats.
@@ -239,6 +260,18 @@ func (s *Service) countEngineJoin(name string) {
 	s.engineMu.Lock()
 	s.engineJoins[name]++
 	s.engineMu.Unlock()
+}
+
+// countShardJoin aggregates one sharded execution's fan-out record for
+// /stats (no-op for non-sharded engines).
+func (s *Service) countShardJoin(sh *engine.ShardStats) {
+	if sh == nil {
+		return
+	}
+	s.shardJoins.Add(1)
+	s.shardTiles.Add(uint64(sh.TilesRun))
+	s.shardReplicated.Add(uint64(sh.ReplicatedA + sh.ReplicatedB))
+	s.shardDedupDrops.Add(sh.DedupDropped)
 }
 
 // Join runs (or serves from cache) the join of datasets a and b through the
@@ -251,12 +284,47 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	}
 	s.joins.Add(1)
 
+	parallelism := p.Parallelism
+	if parallelism == 0 {
+		parallelism = s.cfg.Parallelism
+	}
+	// Normalize the tile pin to the engine contract up front — negatives
+	// mean auto, larger pins clamp to the tile cap — so planning, caching
+	// and execution all describe the same fan-out.
+	pin := p.ShardTiles
+	if pin < 0 {
+		pin = 0
+	}
+	if pin > engine.ShardMaxTiles {
+		pin = engine.ShardMaxTiles
+	}
+
 	// Resolve "auto" before the cache: the planner decision is
 	// deterministic per dataset version, so auto requests share cache
 	// entries with explicit requests for the same engine.
-	algo, plan, err := s.resolveAlgorithm(a, b, p.Algorithm)
+	algo, plan, err := s.resolveAlgorithm(a, b, p.Algorithm, pin, parallelism)
 	if err != nil {
 		return nil, err
+	}
+	// The pin only means something to the sharded engines: zeroing it
+	// otherwise keeps the cache from splitting byte-identical results of
+	// the other engines over an ignored field. An unpinned sharded
+	// execution reuses the planner's tile selection (auto) or computes it
+	// from the catalog's cached per-version statistics (explicit), so the
+	// engine never repeats the O(n) statistics pass on the serving path.
+	keyTiles, execTiles := 0, 0
+	if strings.HasPrefix(algo, engine.ShardPrefix) {
+		keyTiles = pin
+		execTiles = pin
+		if execTiles == 0 {
+			if plan != nil {
+				execTiles = plan.ShardTiles
+			} else if sa, _, err := s.cat.DatasetStats(a); err == nil {
+				if sb, _, err := s.cat.DatasetStats(b); err == nil {
+					execTiles = planner.ShardTiles(sa, sb)
+				}
+			}
+		}
 	}
 
 	// Cache fast path on the current dataset versions, before any index is
@@ -273,17 +341,13 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 		return nil, err
 	}
 	if !p.NoCache {
-		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance, algo)); ok {
+		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance, algo, keyTiles)); ok {
 			summary := res.Summary
 			summary.Planner = plan // report this request's planning, not the filler's
 			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
 		}
 	}
 
-	parallelism := p.Parallelism
-	if parallelism == 0 {
-		parallelism = s.cfg.Parallelism
-	}
 	// Miss: all expensive work happens inside one pool slot, so admission
 	// control bounds it — including the single-flight index builds
 	// acquisition can trigger (a distance join builds expanded variants of
@@ -306,7 +370,7 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 				return err
 			}
 			defer hb.Release()
-			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, algo)
+			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, algo, keyTiles)
 			res, err = engine.Run(ctx, algo, nil, nil, engine.Options{
 				Parallelism: parallelism,
 				Concurrent:  true,
@@ -327,11 +391,12 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 			if err != nil {
 				return err
 			}
-			key = joinKey(a, b, verA, verB, p.Distance, algo)
+			key = joinKey(a, b, verA, verB, p.Distance, algo, keyTiles)
 			res, err = engine.Run(ctx, algo, ea, eb, engine.Options{
 				Distance:    p.Distance,
 				Parallelism: parallelism,
 				PageSize:    s.cfg.PageSize,
+				ShardTiles:  execTiles,
 			})
 			return err
 		})
@@ -340,6 +405,7 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 		return nil, err
 	}
 	s.countEngineJoin(algo)
+	s.countShardJoin(res.Stats.Shard)
 	summary := JoinSummary{
 		Algorithm:       algo,
 		Results:         res.Stats.Refinements,
@@ -349,6 +415,7 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 		ModeledIOMS:     float64(res.Stats.JoinIOTime) / float64(time.Millisecond),
 		Reads:           res.Stats.PagesRead,
 		BuildMS:         float64(res.Stats.BuildTotal) / float64(time.Millisecond),
+		Shard:           res.Stats.Shard,
 	}
 	if !p.NoCache {
 		// Cache without the planner report: hits splice in their own.
@@ -391,6 +458,8 @@ type Stats struct {
 	// counts executed (non-cached) joins per engine.
 	AutoJoins   uint64            `json:"auto_joins"`
 	EngineJoins map[string]uint64 `json:"engine_joins"`
+	// Shard aggregates fan-out activity across executed sharded joins.
+	Shard ShardAggregate `json:"shard"`
 	// Algorithms lists the engines a join may name, plus "auto";
 	// DefaultAlgorithm is what an unnamed request gets.
 	Algorithms       []string      `json:"algorithms"`
@@ -400,6 +469,18 @@ type Stats struct {
 	Pool             PoolStats     `json:"pool"`
 	Datasets         []DatasetInfo `json:"datasets"`
 	PageSize         int           `json:"page_size"`
+}
+
+// ShardAggregate is the /stats roll-up of sharded executions.
+type ShardAggregate struct {
+	// Joins counts executed (non-cached) sharded joins; TilesRun the tiles
+	// they actually executed.
+	Joins    uint64 `json:"joins"`
+	TilesRun uint64 `json:"tiles_run"`
+	// Replicated counts boundary element copies; DedupDrops the duplicate
+	// pairs reference-point dedup discarded.
+	Replicated uint64 `json:"replicated"`
+	DedupDrops uint64 `json:"dedup_drops"`
 }
 
 // Stats returns a snapshot of service activity.
@@ -415,11 +496,17 @@ func (s *Service) Stats() Stats {
 	}
 	s.engineMu.Unlock()
 	return Stats{
-		UptimeMS:         float64(time.Since(s.start)) / float64(time.Millisecond),
-		Joins:            s.joins.Load(),
-		RangeQueries:     s.rangeQueries.Load(),
-		AutoJoins:        s.autoJoins.Load(),
-		EngineJoins:      engineJoins,
+		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+		Joins:        s.joins.Load(),
+		RangeQueries: s.rangeQueries.Load(),
+		AutoJoins:    s.autoJoins.Load(),
+		EngineJoins:  engineJoins,
+		Shard: ShardAggregate{
+			Joins:      s.shardJoins.Load(),
+			TilesRun:   s.shardTiles.Load(),
+			Replicated: s.shardReplicated.Load(),
+			DedupDrops: s.shardDedupDrops.Load(),
+		},
 		Algorithms:       append(engine.Names(), AlgorithmAuto),
 		DefaultAlgorithm: s.cfg.DefaultAlgorithm,
 		Catalog:          s.cat.Stats(),
