@@ -8,6 +8,7 @@
 //	spatialjoin -algo pbsm -a dense:50000 -b uniformcluster:50000 -v
 //	spatialjoin -algo all -a axons:60000 -b dendrites:40000
 //	spatialjoin -algo shard-transformers -shard-tiles 8 -a dense:200000 -b uniformcluster:200000
+//	spatialjoin -algo transformers -stream -a massive:100000 -b massive:100000 | wc -l
 //
 // Dataset specs are distribution:count with distributions uniform, dense
 // (DenseCluster), uniformcluster, massive (MassiveCluster), axons,
@@ -18,6 +19,9 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +43,8 @@ func main() {
 		"TRANSFORMERS join worker count (1 = paper-faithful single thread)")
 	shardTiles := flag.Int("shard-tiles", 0,
 		"tile count K for the shard-* engines (0 = statistics-driven)")
+	stream := flag.Bool("stream", false,
+		"stream result pairs as NDJSON on stdout as the join finds them (cost report goes to stderr)")
 	verbose := flag.Bool("v", false, "print per-phase I/O detail")
 	flag.Parse()
 
@@ -46,6 +52,15 @@ func main() {
 	fatalIf(err)
 	b, err := generate(*specB, *seedB)
 	fatalIf(err)
+	if *stream {
+		// Streaming mode: pairs on stdout (pipe-friendly NDJSON), report on
+		// stderr, memory bounded regardless of result size.
+		streamJoin(*algo, a, b, transformers.RunOptions{
+			ShardTiles: *shardTiles,
+			Join:       transformers.JoinOptions{Parallelism: *parallel},
+		})
+		return
+	}
 	fmt.Printf("dataset A: %s (%d elements), dataset B: %s (%d elements)\n\n",
 		*specA, len(a), *specB, len(b))
 
@@ -88,6 +103,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// streamJoin runs one engine's streaming path, writing each pair as one
+// NDJSON line on stdout the moment the join finds it.
+func streamJoin(algo string, a, b []transformers.Element, opt transformers.RunOptions) {
+	if algo == "all" {
+		fatalIf(fmt.Errorf("-stream needs one engine, not \"all\""))
+	}
+	bw := bufio.NewWriterSize(os.Stdout, 64<<10)
+	enc := json.NewEncoder(bw)
+	rep, err := transformers.RunStream(context.Background(), transformers.Algorithm(algo), a, b, opt,
+		func(p transformers.Pair) error {
+			return enc.Encode(struct {
+				A uint64 `json:"a"`
+				B uint64 `json:"b"`
+			}{p.A, p.B})
+		})
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "%-18s results=%-10d index: %-10v join: %v (in-mem %v + modeled I/O %v)\n",
+		algo, rep.Results, rep.BuildTotal.Round(1e5), rep.JoinTotal.Round(1e5),
+		rep.JoinWall.Round(1e5), rep.JoinIOTime.Round(1e5))
 }
 
 func generate(spec string, seed int64) ([]transformers.Element, error) {

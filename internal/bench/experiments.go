@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"math"
 
@@ -422,10 +421,11 @@ func runEngines(cfg Config) error {
 				continue
 			}
 			// Not via runAlgo: the sample needs the workload and
-			// prediction stamps, so record it here instead.
-			rep, err := engine.Run(context.Background(), name, w.genA(), w.genB(),
+			// prediction stamps, so record it here instead (executeEngine
+			// still honors Config.Stream).
+			rep, err := executeEngine(cfg, name, w.genA(), w.genB(),
 				engine.Options{PBSMTilesPerDim: cfg.pbsmTiles(10), Parallelism: cfg.Parallel,
-					ShardTiles: cfg.ShardTiles, DiscardPairs: true})
+					ShardTiles: cfg.ShardTiles})
 			if err != nil {
 				return err
 			}

@@ -62,6 +62,13 @@ type JoinConfig struct {
 	// sequential/random classification stream starts fresh per join.
 	// Parallel joins (Parallelism > 1) always read through private views.
 	Concurrent bool
+	// Stop, when non-nil, is a cooperative abort flag: raising it makes
+	// every pivot loop (sequential or parallel) exit before its next pivot,
+	// and the unit-level loops exit before their next pivot unit. The join
+	// then returns normally with partial stats and no error — the caller
+	// that raised the flag knows why it stopped (the engine layer's
+	// streaming emit uses this to abort on a failed or canceled consumer).
+	Stop *atomic.Bool
 }
 
 // JoinStats reports the cost of one join.
@@ -308,11 +315,17 @@ func newJoinRun(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element), stA
 	return r
 }
 
+// aborted reports whether the run should stop before its next pivot: the
+// parallel fleet's failure flag or the caller's cooperative Stop.
+func (r *joinRun) aborted() bool {
+	return (r.stop != nil && r.stop.Load()) || (r.cfg.Stop != nil && r.cfg.Stop.Load())
+}
+
 // loop drives the pivot loop of Algorithm 2 until either side's unchecked
 // universe is exhausted, following role switches as they happen.
 func (r *joinRun) loop(g, f int) error {
 	for r.sides[g].remaining > 0 && r.sides[f].remaining > 0 {
-		if r.stop != nil && r.stop.Load() {
+		if r.aborted() {
 			return nil
 		}
 		pn := r.sides[g].nextUnchecked()
@@ -608,6 +621,9 @@ func (r *joinRun) processNodeAtUnitLevel(g, f int, pn int32) error {
 
 	var gElems []geom.Element
 	for _, ui := range pivot.Units {
+		if r.cfg.Stop != nil && r.cfg.Stop.Load() {
+			break // abort between pivot units, not just between pivots
+		}
 		u := &G.idx.units[ui]
 		utarget := u.PageMBB
 

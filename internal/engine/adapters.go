@@ -8,7 +8,6 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gipsy"
 	"repro/internal/grid"
-	"repro/internal/naive"
 	"repro/internal/pbsm"
 	"repro/internal/rtree"
 	"repro/internal/storage"
@@ -57,7 +56,9 @@ func init() {
 
 // transformersEngine runs the paper's adaptive join (§III–§VI): sequential,
 // parallel (Options.Parallelism) and distance (Options.Distance) execution
-// through one adapter, reusing prebuilt catalog indexes when supplied.
+// through one adapter, reusing prebuilt catalog indexes when supplied. Both
+// the collected and the streaming path run the same kernel; Join only adds
+// the pair slice.
 type transformersEngine struct{}
 
 func (transformersEngine) Name() string { return Transformers }
@@ -66,7 +67,11 @@ func (transformersEngine) Capabilities() Capabilities {
 	return Capabilities{Parallel: true, Adaptive: true, PrebuiltIndexes: true}
 }
 
-func (transformersEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e transformersEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (transformersEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	res := &Result{Engine: Transformers}
 	var ia, ib *core.Index
 	if opt.Prebuilt != nil && opt.Prebuilt.A != nil && opt.Prebuilt.B != nil {
@@ -104,7 +109,8 @@ func (transformersEngine) Join(ctx context.Context, a, b []geom.Element, opt Opt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	col := newCollector(opt, true)
+	s := newSink(emit, true, opt)
+	defer s.watch(ctx)()
 	js, err := core.Join(ia, ib, core.JoinConfig{
 		DisableTransforms: opt.DisableTransforms,
 		TSU:               opt.TSU,
@@ -115,11 +121,14 @@ func (transformersEngine) Join(ctx context.Context, a, b []geom.Element, opt Opt
 		CachePages:        opt.CachePages,
 		Parallelism:       opt.Parallelism,
 		Concurrent:        opt.Concurrent,
-	}, col.emit)
+		Stop:              s.flag(),
+	}, s.send)
 	if err != nil {
 		return nil, err
 	}
-	res.Pairs = col.pairs
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
 	res.Stats.Transformers = js
 	res.Stats.JoinWall = js.Wall
 	res.Stats.JoinIO = js.IO
@@ -137,7 +146,11 @@ type pbsmEngine struct{}
 func (pbsmEngine) Name() string               { return PBSM }
 func (pbsmEngine) Capabilities() Capabilities { return Capabilities{} }
 
-func (pbsmEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e pbsmEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (pbsmEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	a, b, opt, err := prepare(ctx, a, b, opt)
 	if err != nil {
 		return nil, err
@@ -167,12 +180,15 @@ func (pbsmEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	col := newCollector(opt, false)
-	js, err := pbsm.Join(ia, ib, grid.Config{}, col.emit)
+	s := newSink(emit, false, opt)
+	defer s.watch(ctx)()
+	js, err := pbsm.Join(ia, ib, pbsm.JoinConfig{Stop: s.flag()}, s.send)
 	if err != nil {
 		return nil, err
 	}
-	res.Pairs = col.pairs
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
 	res.Stats.JoinWall = js.Wall
 	res.Stats.JoinIO = js.IO
 	res.Stats.Candidates = js.Comparisons
@@ -188,7 +204,11 @@ type rtreeEngine struct{}
 func (rtreeEngine) Name() string               { return RTree }
 func (rtreeEngine) Capabilities() Capabilities { return Capabilities{} }
 
-func (rtreeEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e rtreeEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (rtreeEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	a, b, opt, err := prepare(ctx, a, b, opt)
 	if err != nil {
 		return nil, err
@@ -210,12 +230,15 @@ func (rtreeEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	col := newCollector(opt, false)
-	js, err := rtree.SyncJoin(ta, tb, rtree.JoinConfig{CachePages: opt.CachePages}, col.emit)
+	s := newSink(emit, false, opt)
+	defer s.watch(ctx)()
+	js, err := rtree.SyncJoin(ta, tb, rtree.JoinConfig{CachePages: opt.CachePages, Stop: s.flag()}, s.send)
 	if err != nil {
 		return nil, err
 	}
-	res.Pairs = col.pairs
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
 	res.Stats.JoinWall = js.Wall
 	res.Stats.JoinIO = js.IO
 	res.Stats.Candidates = js.Comparisons
@@ -233,7 +256,11 @@ type gipsyEngine struct{}
 func (gipsyEngine) Name() string               { return GIPSY }
 func (gipsyEngine) Capabilities() Capabilities { return Capabilities{} }
 
-func (gipsyEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e gipsyEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (gipsyEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	a, b, opt, err := prepare(ctx, a, b, opt)
 	if err != nil {
 		return nil, err
@@ -256,18 +283,21 @@ func (gipsyEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	col := newCollector(opt, false)
-	js, err := gipsy.Join(sparse, idx, gipsy.JoinConfig{CachePages: opt.CachePages}, func(s, d geom.Element) {
+	s := newSink(emit, false, opt)
+	defer s.watch(ctx)()
+	js, err := gipsy.Join(sparse, idx, gipsy.JoinConfig{CachePages: opt.CachePages, Stop: s.flag()}, func(sp, d geom.Element) {
 		if sparseIsA {
-			col.emit(s, d)
+			s.send(sp, d)
 		} else {
-			col.emit(d, s)
+			s.send(d, sp)
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Pairs = col.pairs
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
 	res.Stats.JoinWall = js.Wall
 	res.Stats.JoinIO = js.IO
 	res.Stats.Candidates = js.Comparisons
@@ -285,7 +315,11 @@ type gridEngine struct{}
 func (gridEngine) Name() string               { return Grid }
 func (gridEngine) Capabilities() Capabilities { return Capabilities{InMemory: true} }
 
-func (gridEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e gridEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (gridEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	a, b, opt, err := prepare(ctx, a, b, opt)
 	if err != nil {
 		return nil, err
@@ -303,20 +337,26 @@ func (gridEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	col := newCollector(opt, false)
+	s := newSink(emit, false, opt)
+	defer s.watch(ctx)()
 	start = time.Now()
 	for _, q := range probe {
+		if s.failed() {
+			break // abort between probe rows: the adapter owns this loop
+		}
 		g.Probe(q, func(hit geom.Element) {
 			res.Stats.Refinements++
 			if buildIsA {
-				col.emit(hit, q)
+				s.send(hit, q)
 			} else {
-				col.emit(q, hit)
+				s.send(q, hit)
 			}
 		})
 	}
 	res.Stats.JoinWall = time.Since(start)
-	res.Pairs = col.pairs
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
 	res.Stats.Candidates = g.Comparisons
 	res.Stats.finish(opt.Disk)
 	return res, nil
@@ -329,20 +369,40 @@ type naiveEngine struct{}
 func (naiveEngine) Name() string               { return Naive }
 func (naiveEngine) Capabilities() Capabilities { return Capabilities{InMemory: true, Reference: true} }
 
-func (naiveEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+func (e naiveEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	// Scan order on both paths — not naive.Join's sorted order — so a
+	// result cached from a streamed execution is indistinguishable from a
+	// collected one. Engine results carry no ordering contract (SortPairs
+	// is the canonical comparison order); the sorted reference lives in the
+	// naive package.
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (naiveEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
 	a, b, opt, err := prepare(ctx, a, b, opt)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Engine: Naive}
+	s := newSink(emit, false, opt)
+	defer s.watch(ctx)()
 	start := time.Now()
-	pairs := naive.Join(a, b)
-	res.Stats.JoinWall = time.Since(start)
-	res.Stats.Candidates = uint64(len(a)) * uint64(len(b))
-	res.Stats.Refinements = uint64(len(pairs))
-	if !opt.DiscardPairs {
-		res.Pairs = pairs
+	for _, ea := range a {
+		if s.failed() {
+			break // abort between outer rows
+		}
+		for _, eb := range b {
+			if ea.Box.Intersects(eb.Box) {
+				res.Stats.Refinements++
+				s.send(ea, eb)
+			}
+		}
 	}
+	res.Stats.JoinWall = time.Since(start)
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
+	res.Stats.Candidates = uint64(len(a)) * uint64(len(b))
 	res.Stats.finish(opt.Disk)
 	return res, nil
 }

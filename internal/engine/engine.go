@@ -19,7 +19,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -296,30 +295,18 @@ func All() []Joiner {
 
 // Run resolves name and executes the engine — the one-call form every layer
 // above uses. An empty input short-circuits to an empty result (after option
-// validation): a join with an empty side has no pairs by definition, and the
-// partitioning engines cannot build structures over an empty, boundless
-// world. The prebuilt-index path (nil element slices by design) is exempt.
+// validation) through the same guard RunStream uses (emptyInputResult), so
+// the collected and streaming paths cannot diverge on degenerate inputs.
 func Run(ctx context.Context, name string, a, b []geom.Element, opt Options) (*Result, error) {
 	j, err := Get(name)
 	if err != nil {
 		return nil, err
 	}
-	if (len(a) == 0 || len(b) == 0) && opt.Prebuilt == nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if _, err := opt.normalize(a, b); err != nil {
-			return nil, err
-		}
-		res := &Result{Engine: name}
-		// Keep the response shape of the engine that would have run: a
-		// sharded name reports the same degenerate fan-out record its own
-		// empty-input branch produces.
-		if inner, ok := strings.CutPrefix(name, ShardPrefix); ok {
-			res.Stats.Shard = DegenerateShardStats(inner)
-		}
-		res.Stats.finish(opt.Disk)
-		return res, nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if res, done, err := emptyInputResult(name, a, b, opt); done {
+		return res, err
 	}
 	return j.Join(ctx, a, b, opt)
 }
@@ -379,32 +366,6 @@ func prepare(ctx context.Context, a, b []geom.Element, opt Options) ([]geom.Elem
 		opt.World = opt.World.Expand(opt.Distance / 2)
 	}
 	return a, b, opt, nil
-}
-
-// collector accumulates result pairs behind the DiscardPairs switch and, for
-// parallel engines, a mutex. A is always the element of the first input.
-type collector struct {
-	mu      sync.Mutex
-	locked  bool
-	discard bool
-	pairs   []geom.Pair
-}
-
-func newCollector(opt Options, parallel bool) *collector {
-	return &collector{locked: parallel && opt.Parallelism != 0 && opt.Parallelism != 1, discard: opt.DiscardPairs}
-}
-
-func (c *collector) emit(a, b geom.Element) {
-	if c.discard {
-		return
-	}
-	if c.locked {
-		c.mu.Lock()
-		c.pairs = append(c.pairs, geom.Pair{A: a.ID, B: b.ID})
-		c.mu.Unlock()
-		return
-	}
-	c.pairs = append(c.pairs, geom.Pair{A: a.ID, B: b.ID})
 }
 
 // SortPairs orders pairs lexicographically (A then B) — the canonical order

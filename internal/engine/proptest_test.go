@@ -15,10 +15,12 @@ package engine_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -189,10 +191,137 @@ func TestPropertyEquivalence(t *testing.T) {
 						t.Errorf("%s (K=%d) on %s: Refinements=%d, want %d (seed %d)",
 							name, opt.ShardTiles, w.Name, res.Stats.Refinements, len(reference), seed)
 					}
+					// The streamed multiset must be the same exact set on
+					// every adversarial shape.
+					var streamed []geom.Pair
+					if _, err := engine.RunStream(context.Background(), name,
+						enginetest.Copy(w.A), enginetest.Copy(w.B), opt,
+						func(p geom.Pair) error { streamed = append(streamed, p); return nil }); err != nil {
+						t.Fatalf("%s (K=%d) stream: %v", name, opt.ShardTiles, err)
+					}
+					if !naive.Equal(streamed, enginetest.CopyPairs(reference)) {
+						t.Errorf("%s (K=%d) on %s: streamed %d pairs, naive has %d — set diverges (seed %d)",
+							name, opt.ShardTiles, w.Name, len(streamed), len(reference), seed)
+					}
 				}
 			}
 		})
 	}
+}
+
+// settledGoroutines polls until the process goroutine count drops back to at
+// most want, failing the test if it never settles — an aborted stream that
+// leaks a worker or watcher keeps the count elevated forever.
+func settledGoroutines(t *testing.T, want int, label string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s: %d goroutines still alive (baseline %d):\n%s",
+				label, runtime.NumGoroutine(), want, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPropertyStreamAbort: an emit that errors after N pairs must stop every
+// engine — the sink goes sticky, so emit is never invoked again, the
+// engine's cooperative stop ends the work within its worker budget, the
+// sentinel error is returned, and no goroutine outlives the call.
+func TestPropertyStreamAbort(t *testing.T) {
+	seed := propSeed(t)
+	r := rand.New(rand.NewSource(seed + 2))
+	// A pair-rich draw so every engine has far more than N pairs to abort
+	// out of.
+	a := genClustered(r, 700, 3, 5, 6, 0)
+	b := genClustered(r, 700, 2, 4, 6, 0)
+	reference := naive.Join(enginetest.Copy(a), enginetest.Copy(b))
+	const abortAfter = 10
+	if len(reference) <= 4*abortAfter {
+		t.Skip("degenerate draw: too few pairs to observe an abort")
+	}
+	sentinel := errors.New("proptest: abort after N pairs")
+	baseline := runtime.NumGoroutine()
+	for _, name := range engine.Names() {
+		runs := []engine.Options{{}, {Parallelism: 4}}
+		if isShard(name) {
+			runs = []engine.Options{{ShardTiles: 7, Parallelism: 3}}
+		}
+		for _, opt := range runs {
+			emitted := 0
+			res, err := engine.RunStream(context.Background(), name,
+				enginetest.Copy(a), enginetest.Copy(b), opt,
+				func(geom.Pair) error {
+					emitted++
+					if emitted >= abortAfter {
+						return sentinel
+					}
+					return nil
+				})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("%s (par=%d): aborted stream returned %v, want sentinel (seed %d)",
+					name, opt.Parallelism, err, seed)
+			}
+			if res != nil {
+				t.Errorf("%s (par=%d): aborted stream returned a result (seed %d)", name, opt.Parallelism, seed)
+			}
+			if emitted != abortAfter {
+				t.Errorf("%s (par=%d): emit called %d times after erroring at %d — sink not sticky (seed %d)",
+					name, opt.Parallelism, emitted, abortAfter, seed)
+			}
+			settledGoroutines(t, baseline+2, name)
+		}
+	}
+}
+
+// TestPropertyStreamCancel: canceling the context mid-stream must abort the
+// engine with context.Canceled and leak nothing, even when emit itself never
+// fails — the cancellation watcher, not the emit path, stops the work.
+func TestPropertyStreamCancel(t *testing.T) {
+	seed := propSeed(t)
+	r := rand.New(rand.NewSource(seed + 3))
+	a := genClustered(r, 700, 3, 5, 6, 0)
+	b := genClustered(r, 700, 2, 4, 6, 0)
+	if len(naive.Join(enginetest.Copy(a), enginetest.Copy(b))) < 50 {
+		t.Skip("degenerate draw: too few pairs to cancel mid-stream")
+	}
+	baseline := runtime.NumGoroutine()
+	for _, name := range engine.Names() {
+		opt := engine.Options{Parallelism: 3}
+		if isShard(name) {
+			opt.ShardTiles = 7
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		emitted := 0
+		_, err := engine.RunStream(ctx, name, enginetest.Copy(a), enginetest.Copy(b), opt,
+			func(geom.Pair) error {
+				emitted++
+				if emitted == 5 {
+					cancel() // the consumer goes away; its emit keeps succeeding
+				}
+				return nil
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled stream returned %v, want context.Canceled (seed %d)", name, err, seed)
+		}
+		settledGoroutines(t, baseline+2, name)
+	}
+}
+
+func isShard(name string) bool {
+	j, err := engine.Get(name)
+	if err != nil {
+		return false
+	}
+	_, ok := j.(interface{ Inner() string })
+	return ok
 }
 
 // TestPropertyShardWorkerInvariance: on one adversarial case, the sharded

@@ -84,8 +84,24 @@ func (e *Engine) Capabilities() engine.Capabilities {
 	return caps
 }
 
-// Join implements engine.Joiner: partition, fan out, dedup, merge.
+// StreamBuffer is the per-worker bound on pairs parked between a tile's
+// inner engine and the caller's emit during a streaming fan-out: the merged
+// output channel holds at most workers×StreamBuffer pairs, so engine-side
+// buffering is a function of the worker budget, never of the result size. A
+// slow consumer therefore back-pressures the tiles instead of forcing any of
+// them to materialize its output.
+const StreamBuffer = 256
+
+// Join implements engine.Joiner: the thin collected wrapper over JoinStream,
+// appending emitted pairs into a slice. Both paths share the partition /
+// fan-out / dedup machinery, so their pair multisets cannot diverge.
 func (e *Engine) Join(ctx context.Context, a, b []geom.Element, opt engine.Options) (*engine.Result, error) {
+	return engine.CollectStream(ctx, e, a, b, opt)
+}
+
+// JoinStream implements engine.StreamJoiner: partition, fan out, and merge
+// the per-tile streams through the reference-point dedup filter on the fly.
+func (e *Engine) JoinStream(ctx context.Context, a, b []geom.Element, opt engine.Options, emit engine.EmitFunc) (*engine.Result, error) {
 	if _, err := engine.Get(e.inner); err != nil {
 		return nil, fmt.Errorf("shard: inner %w", err)
 	}
@@ -114,20 +130,20 @@ func (e *Engine) Join(ctx context.Context, a, b []geom.Element, opt engine.Optio
 		k = MaxTiles
 	}
 	if k <= 1 {
-		return e.single(ctx, a, b, opt)
+		return e.single(ctx, a, b, opt, emit)
 	}
-	return e.fanout(ctx, a, b, opt, k)
+	return e.fanout(ctx, a, b, opt, k, emit)
 }
 
 // single runs the inner engine directly (K=1): no replication, no dedup —
-// the degenerate tiling every sharded result is provably identical to.
-func (e *Engine) single(ctx context.Context, a, b []geom.Element, opt engine.Options) (*engine.Result, error) {
+// the degenerate tiling every sharded result is provably identical to. The
+// caller's emit is handed straight to the inner engine's stream.
+func (e *Engine) single(ctx context.Context, a, b []geom.Element, opt engine.Options, emit engine.EmitFunc) (*engine.Result, error) {
 	innerOpt := e.innerOptions(opt)
-	innerOpt.DiscardPairs = opt.DiscardPairs // no dedup at K=1, pairs not needed
 	// With one tile there is no pool to feed; hand the whole worker budget
 	// to the inner engine instead of pinning it single-threaded.
 	innerOpt.Parallelism = opt.Parallelism
-	res, err := engine.Run(ctx, e.inner, a, b, innerOpt)
+	res, err := engine.RunStream(ctx, e.inner, a, b, innerOpt, emit)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +170,9 @@ func (e *Engine) single(ctx context.Context, a, b []geom.Element, opt engine.Opt
 
 // innerOptions derives the per-tile option set: same pricing and sizing, the
 // whole world (PBSM-style inners need it to cover both tile subsets), one
-// thread per tile (the pool provides the parallelism), and pairs always
-// collected — dedup needs them even when the caller discards.
+// thread per tile (the pool provides the parallelism), and pairs never
+// discarded — dedup filters the inner streams, so every inner pair must
+// surface even when the caller discards the merged result.
 func (e *Engine) innerOptions(opt engine.Options) engine.Options {
 	inner := opt
 	inner.World = opt.World
@@ -286,8 +303,13 @@ func (t *tiling) assign(elems []geom.Element) (tiles [][]geom.Element, replicate
 	return tiles, replicated
 }
 
-// fanout is the K>1 path: cut, assign, run tiles on the pool, dedup, merge.
-func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Options, k int) (*engine.Result, error) {
+// fanout is the K>1 path: cut, assign, run tiles on the pool, and merge
+// their streams. Each worker filters its tile's emissions through the
+// reference-point dedup test as they surface and forwards the survivors into
+// a bounded channel (workers×StreamBuffer); the caller's emit drains that
+// channel, so no tile ever materializes its output and a stalled consumer
+// stalls the tiles instead of growing a buffer.
+func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Options, k int, emit engine.EmitFunc) (*engine.Result, error) {
 	partStart := time.Now()
 	tl := newTiling(a, b, opt.World, k)
 	tilesA, replA := tl.assign(a)
@@ -315,7 +337,7 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 
 	type tileResult struct {
 		res     *engine.Result
-		kept    []geom.Pair
+		kept    uint64
 		dropped uint64
 		wall    time.Duration
 	}
@@ -328,6 +350,7 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 		runErr  error
 	)
 	queue := make(chan int)
+	out := make(chan geom.Pair, workers*StreamBuffer)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for w := 0; w < workers; w++ {
@@ -336,50 +359,74 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 			defer wg.Done()
 			for ti := range queue {
 				start := time.Now()
-				res, err := engine.Run(cctx, e.inner, tilesA[ti], tilesB[ti], innerOpt)
+				var kept, dropped uint64
+				res, err := engine.RunStream(cctx, e.inner, tilesA[ti], tilesB[ti], innerOpt,
+					func(p geom.Pair) error {
+						// Reference-point dedup on the fly: forward exactly
+						// the pairs whose intersection's low corner falls in
+						// this tile.
+						if tl.tileOfPoint(refPoint(boxesA[p.A], boxesB[p.B])) != ti {
+							dropped++
+							return nil
+						}
+						select {
+						case out <- p:
+							kept++
+							return nil
+						case <-cctx.Done():
+							return cctx.Err()
+						}
+					})
 				if err != nil {
 					errOnce.Do(func() { runErr = err; cancel() })
 					return
-				}
-				// Reference-point dedup: keep exactly the pairs whose
-				// intersection's low corner falls in this tile.
-				kept := res.Pairs[:0]
-				var dropped uint64
-				for _, p := range res.Pairs {
-					if tl.tileOfPoint(refPoint(boxesA[p.A], boxesB[p.B])) == ti {
-						kept = append(kept, p)
-					} else {
-						dropped++
-					}
 				}
 				results[ti] = tileResult{res: res, kept: kept, dropped: dropped, wall: time.Since(start)}
 			}
 		}()
 	}
 	phaseStart := time.Now()
-feed:
-	for ti := 0; ti < k; ti++ {
-		if len(tilesA[ti]) == 0 || len(tilesB[ti]) == 0 {
-			continue // no pairs can originate here
+	go func() { // feeder: the merge loop below owns this goroutine's old seat
+		defer close(queue)
+		for ti := 0; ti < k; ti++ {
+			if len(tilesA[ti]) == 0 || len(tilesB[ti]) == 0 {
+				continue // no pairs can originate here
+			}
+			select {
+			case queue <- ti:
+			case <-cctx.Done():
+				return
+			}
 		}
-		select {
-		case queue <- ti:
-		case <-cctx.Done():
-			break feed
+	}()
+	go func() { wg.Wait(); close(out) }()
+
+	// Merge: drain the bounded channel into the caller's emit. On an emit
+	// error the fan-out is canceled but the channel is still drained (pairs
+	// discarded) so no worker stays blocked on a send.
+	var emitErr error
+	for p := range out {
+		if emitErr != nil {
+			continue
+		}
+		if err := emit(p); err != nil {
+			emitErr = err
+			cancel()
 		}
 	}
-	close(queue)
-	wg.Wait()
 	phaseWall := time.Since(phaseStart)
-	if runErr != nil {
-		return nil, runErr
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
 
-	out := &engine.Result{Engine: e.Name()}
-	st := &out.Stats
+	res := &engine.Result{Engine: e.Name()}
+	st := &res.Stats
 	shard := &engine.ShardStats{
 		Inner: e.inner, Tiles: k, Workers: workers,
 		ReplicatedA: replA, ReplicatedB: replB,
@@ -392,7 +439,7 @@ feed:
 		ts := engine.TileStats{Tile: ti, ElementsA: len(tilesA[ti]), ElementsB: len(tilesB[ti])}
 		if r := results[ti].res; r != nil {
 			shard.TilesRun++
-			ts.Pairs = uint64(len(results[ti].kept))
+			ts.Pairs = results[ti].kept
 			ts.Dropped = results[ti].dropped
 			ts.WallMS = float64(results[ti].wall) / float64(time.Millisecond)
 			io := r.Stats.BuildIOTime + r.Stats.JoinIOTime
@@ -408,9 +455,6 @@ feed:
 			st.JoinIO = st.JoinIO.Add(r.Stats.BuildIO).Add(r.Stats.JoinIO)
 			st.Candidates += r.Stats.Candidates
 			st.MetaComparisons += r.Stats.MetaComparisons
-			if !opt.DiscardPairs {
-				out.Pairs = append(out.Pairs, results[ti].kept...)
-			}
 		}
 		shard.PerTile = append(shard.PerTile, ts)
 	}
@@ -434,7 +478,7 @@ feed:
 	st.JoinIOTime = makespan(tileIO, workers)
 	st.JoinTotal = st.JoinWall + st.JoinIOTime
 	st.PagesRead = st.JoinIO.Reads
-	return out, nil
+	return res, nil
 }
 
 // makespan is the completion time of scheduling the given task durations on

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// EmitFunc receives one result pair as the engine finds it. Returning a
+// non-nil error aborts the join: the engine stops within its worker budget
+// (each worker finishes at most its current pivot/tile/probe row) and the
+// streaming entry point returns the error. Engines never call an EmitFunc
+// concurrently — parallel emitters are serialized — so an emit body may
+// write to a response stream or append to a slice without its own locking.
+type EmitFunc func(geom.Pair) error
+
+// StreamJoiner is the streaming capability of an engine: pairs are produced
+// through emit as they are found instead of being materialized in
+// Result.Pairs, so a skewed join whose output approaches |A|·|B| runs in
+// memory bounded by the engine's working state, not its result size. The
+// returned Result carries the usual Stats with Pairs nil. Every built-in
+// engine (and the sharded meta-engines) implements it; the collected
+// Joiner.Join of those engines is a thin wrapper that appends emitted pairs
+// into a slice, so Result and Stats semantics are identical on both paths.
+type StreamJoiner interface {
+	Joiner
+	// JoinStream executes the engine, reporting each result pair through
+	// emit. An emit error (including one caused by context cancellation)
+	// aborts the join early and is returned.
+	JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error)
+}
+
+// RunStream resolves name and executes the engine's streaming path — the
+// one-call form the serving layer and the CLIs use. The empty-input guard of
+// Run applies identically here: an empty side short-circuits (after option
+// validation) to a zero-pair result with valid Stats and emit is never
+// called. Engines registered without the StreamJoiner capability fall back
+// to a collected Join whose pairs are replayed through emit — correct, but
+// buffering the full result; every built-in engine streams natively.
+func RunStream(ctx context.Context, name string, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
+	j, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if res, done, err := emptyInputResult(name, a, b, opt); done {
+		return res, err
+	}
+	if sj, ok := j.(StreamJoiner); ok {
+		return sj.JoinStream(ctx, a, b, opt, emit)
+	}
+	// DiscardPairs is a collected-path switch; on the fallback the collected
+	// pairs ARE the stream, so they must be produced to be replayed.
+	opt.DiscardPairs = false
+	res, err := j.Join(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range res.Pairs {
+		if err := emit(p); err != nil {
+			return nil, err
+		}
+	}
+	res.Pairs = nil
+	return res, nil
+}
+
+// emptyInputResult is the shared empty-input short-circuit of Run and
+// RunStream: a join with an empty side has no pairs by definition, and the
+// partitioning engines cannot build structures over an empty, boundless
+// world. done reports whether the short-circuit applies; when it does, the
+// result (possibly nil with an error) is final. The prebuilt-index path (nil
+// element slices by design) is exempt.
+func emptyInputResult(name string, a, b []geom.Element, opt Options) (res *Result, done bool, err error) {
+	if (len(a) != 0 && len(b) != 0) || opt.Prebuilt != nil {
+		return nil, false, nil
+	}
+	if _, err := opt.normalize(a, b); err != nil {
+		return nil, true, err
+	}
+	res = &Result{Engine: name}
+	// Keep the response shape of the engine that would have run: a sharded
+	// name reports the same degenerate fan-out record its own empty-input
+	// branch produces.
+	if inner, ok := strings.CutPrefix(name, ShardPrefix); ok {
+		res.Stats.Shard = DegenerateShardStats(inner)
+	}
+	res.Stats.finish(opt.Disk)
+	return res, true, nil
+}
+
+// CollectStream runs an engine's streaming path with an emit that appends
+// into a slice — the single implementation behind every built-in engine's
+// (and the shard meta-engine's) collected Join, so the two paths cannot
+// drift apart.
+func CollectStream(ctx context.Context, j StreamJoiner, a, b []geom.Element, opt Options) (*Result, error) {
+	var pairs []geom.Pair
+	emit := func(p geom.Pair) error { pairs = append(pairs, p); return nil }
+	if opt.DiscardPairs {
+		emit = func(geom.Pair) error { return nil }
+	}
+	res, err := j.JoinStream(ctx, a, b, opt, emit)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.DiscardPairs {
+		res.Pairs = pairs
+	}
+	return res, nil
+}
+
+// sink adapts an element-pair emit callback (what the native join kernels
+// produce) to a caller's EmitFunc: it serializes concurrent emitters, turns
+// the first emit error into a sticky abort, and exposes the abort as an
+// atomic flag the kernels' cooperative-stop hooks watch. A is always the
+// element of the first input.
+type sink struct {
+	mu     sync.Mutex
+	locked bool
+	out    EmitFunc
+	// stop is raised on the first emit error (or context cancellation via
+	// watch); inner engines poll it between pivots/tiles/probe rows, which
+	// bounds how many further pairs each worker may still report.
+	stop atomic.Bool
+	err  error
+}
+
+// newSink wraps emit; parallel selects mutex serialization for engines whose
+// workers emit concurrently (mirrors the collected path's locking rule: any
+// Parallelism other than 0 or 1, including negative = all cores).
+func newSink(emit EmitFunc, parallel bool, opt Options) *sink {
+	return &sink{out: emit, locked: parallel && opt.Parallelism != 0 && opt.Parallelism != 1}
+}
+
+// send forwards one element pair to the caller's emit unless the sink has
+// already failed.
+func (s *sink) send(a, b geom.Element) {
+	if s.locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	if s.err != nil {
+		return
+	}
+	if err := s.out(geom.Pair{A: a.ID, B: b.ID}); err != nil {
+		s.err = err
+		s.stop.Store(true)
+	}
+}
+
+// failed reports whether the join should abort — for engines whose stop
+// check lives in the adapter loop rather than a kernel.
+func (s *sink) failed() bool { return s.stop.Load() }
+
+// flag is the cooperative-abort flag kernels take in their configs.
+func (s *sink) flag() *atomic.Bool { return &s.stop }
+
+// watch raises the abort flag when ctx is canceled, so a join whose emit is
+// never reached (long pair-free stretches) still stops within the worker
+// budget. The returned func releases the watcher; call it before returning.
+func (s *sink) watch(ctx context.Context) (release func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.stop.Store(true)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// finish resolves the join's error after the kernel returned: context
+// cancellation wins (the caller asked to abort), then the first emit error.
+// All emitters are done by now (the kernels join their workers), so the
+// sticky error is read without the lock.
+func (s *sink) finish(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.err
+}

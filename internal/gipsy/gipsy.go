@@ -20,6 +20,7 @@ package gipsy
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -141,6 +142,10 @@ type JoinConfig struct {
 	// terminate on their own, this is a defensive bound. 0 means 4x the
 	// number of units.
 	MaxWalkSteps int
+	// Stop, when non-nil, is a cooperative abort flag: once raised, no
+	// further guide element is processed and Join returns normally with
+	// partial stats (streaming callers abort through it).
+	Stop *atomic.Bool
 }
 
 // JoinStats reports join cost.
@@ -192,6 +197,9 @@ func Join(sparse []geom.Element, dense *Index, cfg JoinConfig, emit func(s, d ge
 	walker := newWalker(len(dense.units))
 	cur := 0 // walk start: previous element's nearest unit
 	for _, g := range guide {
+		if cfg.Stop != nil && cfg.Stop.Load() {
+			break
+		}
 		// Navigate against the pivot expanded by the dense dataset's
 		// maximum element half-extent: any element that can intersect the
 		// pivot lives in a region intersecting this target.

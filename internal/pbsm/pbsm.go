@@ -23,6 +23,7 @@ package pbsm
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -253,9 +254,25 @@ type JoinStats struct {
 	DedupDropped uint64
 }
 
+// JoinConfig controls the partition-merge join.
+type JoinConfig struct {
+	// Grid tunes the in-memory hash join run per partition.
+	Grid grid.Config
+	// Stop, when non-nil, is a cooperative abort flag: once raised, the
+	// in-memory join of the current partition stops at its next probe
+	// element, no further partition is joined, and Join returns normally
+	// with partial stats (streaming callers abort through it). The
+	// per-probe granularity matters on skew: one partition can hold nearly
+	// the whole quadratic workload.
+	Stop *atomic.Bool
+}
+
+// stopped reads the cooperative abort flag.
+func (cfg JoinConfig) stopped() bool { return cfg.Stop != nil && cfg.Stop.Load() }
+
 // Join joins two PBSM indexes built over the same tiling, emitting each
 // intersecting pair exactly once (a from ia's dataset, b from ib's).
-func Join(ia, ib *Index, gridCfg grid.Config, emit func(a, b geom.Element)) (JoinStats, error) {
+func Join(ia, ib *Index, cfg JoinConfig, emit func(a, b geom.Element)) (JoinStats, error) {
 	if ia.tiling != ib.tiling {
 		return JoinStats{}, fmt.Errorf("pbsm: indexes built with different tilings")
 	}
@@ -271,6 +288,9 @@ func Join(ia, ib *Index, gridCfg grid.Config, emit func(a, b geom.Element)) (Joi
 	bufB := make([]byte, ib.st.PageSize())
 	tl := ia.tiling
 	for p := 0; p < tl.partitions; p++ {
+		if cfg.stopped() {
+			break
+		}
 		if ia.counts[p] == 0 || ib.counts[p] == 0 {
 			continue
 		}
@@ -282,18 +302,28 @@ func Join(ia, ib *Index, gridCfg grid.Config, emit func(a, b geom.Element)) (Joi
 		if err != nil {
 			return stats, err
 		}
-		stats.Comparisons += grid.Join(ea, eb, gridCfg, func(a, b geom.Element) {
-			// Reference-tile deduplication: report the pair only in the
-			// partition owning the tile of the intersection's low corner;
-			// both copies are guaranteed to be present there.
-			inter, _ := a.Box.Intersection(b.Box)
-			if tl.partitionOfTile(tl.tileOfPoint(inter.Lo)) == p {
-				stats.Results++
-				emit(a, b)
-			} else {
-				stats.DedupDropped++
+		// The in-memory join, probe loop inlined (vs grid.Join) so the abort
+		// flag is honored between probe elements, not just between
+		// partitions — under skew one partition is nearly the whole join.
+		g := grid.Build(ea, cfg.Grid)
+		for _, q := range eb {
+			if cfg.stopped() {
+				break
 			}
-		})
+			g.Probe(q, func(a geom.Element) {
+				// Reference-tile deduplication: report the pair only in the
+				// partition owning the tile of the intersection's low
+				// corner; both copies are guaranteed to be present there.
+				inter, _ := a.Box.Intersection(q.Box)
+				if tl.partitionOfTile(tl.tileOfPoint(inter.Lo)) == p {
+					stats.Results++
+					emit(a, q)
+				} else {
+					stats.DedupDropped++
+				}
+			})
+		}
+		stats.Comparisons += g.Comparisons
 	}
 	stats.Wall = time.Since(start)
 	stats.IO = ia.st.Stats().Sub(beforeA)

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/geom"
-	"repro/internal/grid"
 	"repro/internal/naive"
 	"repro/internal/storage"
 )
@@ -29,7 +28,7 @@ func joinOnce(t testing.TB, a, b []geom.Element, tilesPerDim, partitions int) ([
 		t.Fatal(err)
 	}
 	var pairs []geom.Pair
-	js, err := Join(ia, ib, grid.Config{}, func(x, y geom.Element) {
+	js, err := Join(ia, ib, JoinConfig{}, func(x, y geom.Element) {
 		pairs = append(pairs, geom.Pair{A: x.ID, B: y.ID})
 	})
 	if err != nil {
@@ -142,7 +141,7 @@ func TestMismatchedTilingsRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Join(ia, ib, grid.Config{}, func(geom.Element, geom.Element) {}); err == nil {
+	if _, err := Join(ia, ib, JoinConfig{}, func(geom.Element, geom.Element) {}); err == nil {
 		t.Fatal("join across different tilings should fail")
 	}
 }

@@ -11,6 +11,7 @@ package rtree
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -193,6 +194,10 @@ type JoinConfig struct {
 	// join; 1024 pages (8MB at the default page size) when zero, enough to
 	// pin the hot upper levels as a real traversal would.
 	CachePages int
+	// Stop, when non-nil, is a cooperative abort flag: once raised, the
+	// traversal descends into no further node pair and SyncJoin returns
+	// normally with partial stats (streaming callers abort through it).
+	Stop *atomic.Bool
 }
 
 // JoinStats reports the cost of a join.
@@ -238,7 +243,7 @@ func SyncJoin(ta, tb *Tree, cfg JoinConfig, emit func(a, b geom.Element)) (JoinS
 	}
 	bufA := make([]byte, ta.st.PageSize())
 	bufB := make([]byte, tb.st.PageSize())
-	err := syncJoin(ta, tb, stA, stB, ta.root, tb.root, ta.height-1, tb.height-1, bufA, bufB, &stats, emit)
+	err := syncJoin(ta, tb, stA, stB, ta.root, tb.root, ta.height-1, tb.height-1, bufA, bufB, cfg.Stop, &stats, emit)
 	stats.Wall = time.Since(start)
 	stats.IO = ta.st.Stats().Sub(beforeA)
 	if !sharedStore {
@@ -247,7 +252,10 @@ func SyncJoin(ta, tb *Tree, cfg JoinConfig, emit func(a, b geom.Element)) (JoinS
 	return stats, err
 }
 
-func syncJoin(ta, tb *Tree, stA, stB storage.Store, pa, pb storage.PageID, la, lb int, bufA, bufB []byte, stats *JoinStats, emit func(a, b geom.Element)) error {
+func syncJoin(ta, tb *Tree, stA, stB storage.Store, pa, pb storage.PageID, la, lb int, bufA, bufB []byte, stop *atomic.Bool, stats *JoinStats, emit func(a, b geom.Element)) error {
+	if stop != nil && stop.Load() {
+		return nil
+	}
 	ea, err := ta.readNode(stA, pa, bufA)
 	if err != nil {
 		return err
@@ -272,7 +280,7 @@ func syncJoin(ta, tb *Tree, stA, stB storage.Store, pa, pb storage.PageID, la, l
 			pairs = append(pairs, pair{storage.PageID(a.ID), storage.PageID(b.ID)})
 		})
 		for _, p := range pairs {
-			if err := syncJoin(ta, tb, stA, stB, p.a, p.b, la-1, lb-1, bufA, bufB, stats, emit); err != nil {
+			if err := syncJoin(ta, tb, stA, stB, p.a, p.b, la-1, lb-1, bufA, bufB, stop, stats, emit); err != nil {
 				return err
 			}
 		}
@@ -282,7 +290,7 @@ func syncJoin(ta, tb *Tree, stA, stB storage.Store, pa, pb storage.PageID, la, l
 		for _, c := range ea {
 			stats.MetaComparisons++
 			if c.Box.Intersects(mbbB) {
-				if err := syncJoin(ta, tb, stA, stB, storage.PageID(c.ID), pb, la-1, lb, bufA, bufB, stats, emit); err != nil {
+				if err := syncJoin(ta, tb, stA, stB, storage.PageID(c.ID), pb, la-1, lb, bufA, bufB, stop, stats, emit); err != nil {
 					return err
 				}
 			}
@@ -293,7 +301,7 @@ func syncJoin(ta, tb *Tree, stA, stB storage.Store, pa, pb storage.PageID, la, l
 		for _, c := range eb {
 			stats.MetaComparisons++
 			if c.Box.Intersects(mbbA) {
-				if err := syncJoin(ta, tb, stA, stB, pa, storage.PageID(c.ID), la, lb-1, bufA, bufB, stats, emit); err != nil {
+				if err := syncJoin(ta, tb, stA, stB, pa, storage.PageID(c.ID), la, lb-1, bufA, bufB, stop, stats, emit); err != nil {
 					return err
 				}
 			}

@@ -118,6 +118,12 @@ func NewJoinCache(capacity, maxPairs int) *JoinCache {
 	}
 }
 
+// MaxPairs reports the per-entry result-size threshold: results larger than
+// this are never cached. The streaming path uses it to stop teeing pairs into
+// its cache-fill buffer the moment a result is provably uncacheable, so
+// streaming memory stays bounded by the threshold, not the result.
+func (c *JoinCache) MaxPairs() int { return c.maxPairs }
+
 // Get returns the cached result for key, if present, and records the hit or
 // miss. The returned CachedJoin is shared — callers must not mutate it.
 func (c *JoinCache) Get(key JoinKey) (*CachedJoin, bool) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/geom"
 	"repro/transformers"
@@ -241,13 +242,13 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance is only valid on /join/distance"})
 		return
 	}
+	if req.Stream {
+		streamJoin(svc, w, r, req, params)
+		return
+	}
 	out, err := svc.Join(r.Context(), req.A, req.B, params)
 	if err != nil {
 		writeError(w, err)
-		return
-	}
-	if req.Stream {
-		streamJoin(w, req, out)
 		return
 	}
 	resp := joinResponse{A: req.A, B: req.B, Cached: out.Cached, Summary: out.Summary}
@@ -260,28 +261,84 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// streamJoin writes the result as NDJSON: one pair object per line, then one
-// final summary line. Pairs are flushed in batches so large results stream
-// with bounded memory on the response path.
-func streamJoin(w http.ResponseWriter, req joinRequest, out *JoinOutcome) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
+// streamFlushEvery is the pair interval between explicit flushes of a
+// streaming join response: small enough that a consumer sees progress (and a
+// gone consumer is noticed) promptly, large enough to amortize the flush.
+// The 64KB bufio layer flushes on its own in between, so response-path
+// buffering is bounded either way.
+const streamFlushEvery = 512
+
+// streamWriteTimeout is the rolling per-flush write deadline of a streaming
+// response. The join runs inside a pool slot while its pairs are written, so
+// a connected-but-stalled client (slow-loris) would otherwise pin the slot
+// forever: the request context only cancels on disconnect, and the daemon
+// sets no global WriteTimeout (legitimate streams are arbitrarily long). A
+// client must drain each flush within this window or its writes fail, which
+// aborts the join and frees the slot.
+const streamWriteTimeout = 30 * time.Second
+
+// streamJoin runs the join through the service's streaming path and writes
+// NDJSON as pairs surface: one pair object per line, then one final summary
+// line. Writes happen under the engine's backpressure — a slow consumer
+// slows the join instead of growing a buffer — and a failed write (client
+// gone) aborts the underlying join. Errors before the first pair still get a
+// proper HTTP status; later ones can only be reported as a trailing NDJSON
+// error line.
+func streamJoin(svc *Service, w http.ResponseWriter, r *http.Request, req joinRequest, params JoinParams) {
 	bw := bufio.NewWriterSize(w, 64<<10)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// Rolling write deadline: armed before the response starts and re-armed
+	// at every explicit flush, it also bounds the bufio layer's implicit
+	// flushes in between. Best-effort — writers without deadline support
+	// (tests, exotic middleware) just decline.
+	arm := func() { _ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout)) }
+	// Clear the deadline on every exit: the server has no WriteTimeout, so
+	// net/http will not re-arm it between requests, and a stale deadline
+	// would time out the keep-alive connection's next response.
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
 	enc := json.NewEncoder(bw)
-	for i, p := range out.Pairs {
-		if err := enc.Encode(pairDTO{A: p.A, B: p.B}); err != nil {
-			return // client went away mid-stream
+	started := false
+	start := func() {
+		if !started {
+			arm()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
 		}
-		if (i+1)%4096 == 0 {
-			if bw.Flush() != nil {
-				return
+	}
+	n := 0
+	out, err := svc.JoinStream(r.Context(), req.A, req.B, params, func(p transformers.Pair) error {
+		start()
+		if err := enc.Encode(pairDTO{A: p.A, B: p.B}); err != nil {
+			return err
+		}
+		n++
+		if n%streamFlushEvery == 0 {
+			arm()
+			if err := bw.Flush(); err != nil {
+				return err
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		if !started {
+			writeError(w, err)
+			return
+		}
+		// The status line is gone; the NDJSON tail carries the error. Re-arm
+		// first — the last deadline may predate a long pair-free stretch.
+		arm()
+		_ = enc.Encode(errorResponse{Error: err.Error()})
+		_ = bw.Flush()
+		return
 	}
+	start() // a zero-pair join still answers with the NDJSON summary
+	arm()
 	_ = enc.Encode(struct {
 		Summary JoinSummary `json:"summary"`
 		Cached  bool        `json:"cached"`

@@ -82,6 +82,12 @@ type Service struct {
 	autoJoins    atomic.Uint64
 	rangeQueries atomic.Uint64
 
+	// Streaming activity: pairs emitted to streaming consumers (cache
+	// replays included) and streams aborted before completion (consumer
+	// write failure or disconnect).
+	streamedPairs  atomic.Uint64
+	abortedStreams atomic.Uint64
+
 	// Shard fan-out aggregates across executed sharded joins.
 	shardJoins      atomic.Uint64
 	shardTiles      atomic.Uint64
@@ -274,19 +280,30 @@ func (s *Service) countShardJoin(sh *engine.ShardStats) {
 	s.shardDedupDrops.Add(sh.DedupDropped)
 }
 
-// Join runs (or serves from cache) the join of datasets a and b through the
-// requested (or planned) engine. Pair orientation follows the argument
-// order. The returned pair slice may be shared with the cache — callers must
-// not mutate it.
-func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOutcome, error) {
+// joinPlan is the resolved execution of one join request — everything the
+// collected and streaming paths share before any expensive work runs.
+type joinPlan struct {
+	algo        string
+	plan        *PlannerInfo
+	parallelism int
+	// keyTiles is the tile pin as cached; execTiles the fan-out actually
+	// executed (planner- or statistics-derived when unpinned).
+	keyTiles  int
+	execTiles int
+	va, vb    uint64
+}
+
+// planJoin validates the request and resolves algorithm, fan-out and dataset
+// versions — the shared prelude of Join and JoinStream.
+func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 	if p.Distance < 0 || math.IsNaN(p.Distance) || math.IsInf(p.Distance, 0) {
-		return nil, fmt.Errorf("server: invalid distance %v", p.Distance)
+		return joinPlan{}, fmt.Errorf("server: invalid distance %v", p.Distance)
 	}
 	s.joins.Add(1)
 
-	parallelism := p.Parallelism
-	if parallelism == 0 {
-		parallelism = s.cfg.Parallelism
+	jp := joinPlan{parallelism: p.Parallelism}
+	if jp.parallelism == 0 {
+		jp.parallelism = s.cfg.Parallelism
 	}
 	// Normalize the tile pin to the engine contract up front — negatives
 	// mean auto, larger pins clamp to the tile cap — so planning, caching
@@ -302,9 +319,10 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	// Resolve "auto" before the cache: the planner decision is
 	// deterministic per dataset version, so auto requests share cache
 	// entries with explicit requests for the same engine.
-	algo, plan, err := s.resolveAlgorithm(a, b, p.Algorithm, pin, parallelism)
+	var err error
+	jp.algo, jp.plan, err = s.resolveAlgorithm(a, b, p.Algorithm, pin, jp.parallelism)
 	if err != nil {
-		return nil, err
+		return joinPlan{}, err
 	}
 	// The pin only means something to the sharded engines: zeroing it
 	// otherwise keeps the cache from splitting byte-identical results of
@@ -312,51 +330,50 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	// execution reuses the planner's tile selection (auto) or computes it
 	// from the catalog's cached per-version statistics (explicit), so the
 	// engine never repeats the O(n) statistics pass on the serving path.
-	keyTiles, execTiles := 0, 0
-	if strings.HasPrefix(algo, engine.ShardPrefix) {
-		keyTiles = pin
-		execTiles = pin
-		if execTiles == 0 {
-			if plan != nil {
-				execTiles = plan.ShardTiles
+	if strings.HasPrefix(jp.algo, engine.ShardPrefix) {
+		jp.keyTiles = pin
+		jp.execTiles = pin
+		if jp.execTiles == 0 {
+			if jp.plan != nil {
+				jp.execTiles = jp.plan.ShardTiles
 			} else if sa, _, err := s.cat.DatasetStats(a); err == nil {
 				if sb, _, err := s.cat.DatasetStats(b); err == nil {
-					execTiles = planner.ShardTiles(sa, sb)
+					jp.execTiles = planner.ShardTiles(sa, sb)
 				}
 			}
 		}
 	}
 
-	// Cache fast path on the current dataset versions, before any index is
+	// Current dataset versions for the cache fast path, before any index is
 	// acquired: a hit must not pay an index (re)build of an evicted variant.
 	// Version is a cheap catalog lookup; a replacement racing between this
-	// check and the acquisition below only turns a hit into a safe miss
+	// check and the later acquisition only turns a hit into a safe miss
 	// (the stored key uses the acquired handles' versions).
-	va, err := s.cat.Version(a)
-	if err != nil {
-		return nil, err
+	if jp.va, err = s.cat.Version(a); err != nil {
+		return joinPlan{}, err
 	}
-	vb, err := s.cat.Version(b)
-	if err != nil {
-		return nil, err
+	if jp.vb, err = s.cat.Version(b); err != nil {
+		return joinPlan{}, err
 	}
-	if !p.NoCache {
-		if res, ok := s.cache.Get(joinKey(a, b, va, vb, p.Distance, algo, keyTiles)); ok {
-			summary := res.Summary
-			summary.Planner = plan // report this request's planning, not the filler's
-			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
-		}
-	}
+	return jp, nil
+}
 
-	// Miss: all expensive work happens inside one pool slot, so admission
-	// control bounds it — including the single-flight index builds
-	// acquisition can trigger (a distance join builds expanded variants of
-	// both sides, §VIII) and the per-request builds of non-catalog engines.
-	// Waiting on another request's in-flight build consumes this slot but
-	// never needs a second one, so slots cannot deadlock.
+// execFunc runs the resolved engine on prepared inputs — engine.Run for the
+// collected path, engine.RunStream with a consumer emit for the streaming
+// one.
+type execFunc func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error)
+
+// executeJoin runs the planned join inside one pool slot, so admission
+// control bounds all expensive work — including the single-flight index
+// builds acquisition can trigger (a distance join builds expanded variants
+// of both sides, §VIII) and the per-request builds of non-catalog engines.
+// Waiting on another request's in-flight build consumes this slot but never
+// needs a second one, so slots cannot deadlock.
+func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, error) {
 	var res *engine.Result
 	var key JoinKey
-	if algo == engine.Transformers {
+	var err error
+	if jp.algo == engine.Transformers {
 		// Catalog path: reuse the prebuilt (and, for distance joins,
 		// pre-expanded) indexes through the registry's prebuilt option.
 		err = s.pool.Do(ctx, func() error {
@@ -370,9 +387,9 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 				return err
 			}
 			defer hb.Release()
-			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, algo, keyTiles)
-			res, err = engine.Run(ctx, algo, nil, nil, engine.Options{
-				Parallelism: parallelism,
+			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, jp.algo, jp.keyTiles)
+			res, err = exec(ctx, jp.algo, nil, nil, engine.Options{
+				Parallelism: jp.parallelism,
 				Concurrent:  true,
 				PageSize:    s.cfg.PageSize,
 				Prebuilt:    &engine.Prebuilt{A: ha.Index.Core(), B: hb.Index.Core()},
@@ -391,22 +408,25 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 			if err != nil {
 				return err
 			}
-			key = joinKey(a, b, verA, verB, p.Distance, algo, keyTiles)
-			res, err = engine.Run(ctx, algo, ea, eb, engine.Options{
+			key = joinKey(a, b, verA, verB, p.Distance, jp.algo, jp.keyTiles)
+			res, err = exec(ctx, jp.algo, ea, eb, engine.Options{
 				Distance:    p.Distance,
-				Parallelism: parallelism,
+				Parallelism: jp.parallelism,
 				PageSize:    s.cfg.PageSize,
-				ShardTiles:  execTiles,
+				ShardTiles:  jp.execTiles,
 			})
 			return err
 		})
 	}
-	if err != nil {
-		return nil, err
-	}
+	return res, key, err
+}
+
+// summarize flattens one executed result into the cacheable cost summary and
+// tallies the per-engine and shard counters.
+func (s *Service) summarize(algo string, res *engine.Result) JoinSummary {
 	s.countEngineJoin(algo)
 	s.countShardJoin(res.Stats.Shard)
-	summary := JoinSummary{
+	return JoinSummary{
 		Algorithm:       algo,
 		Results:         res.Stats.Refinements,
 		Comparisons:     res.Stats.Candidates,
@@ -417,12 +437,113 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 		BuildMS:         float64(res.Stats.BuildTotal) / float64(time.Millisecond),
 		Shard:           res.Stats.Shard,
 	}
+}
+
+// Join runs (or serves from cache) the join of datasets a and b through the
+// requested (or planned) engine. Pair orientation follows the argument
+// order. The returned pair slice may be shared with the cache — callers must
+// not mutate it.
+func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOutcome, error) {
+	jp, err := s.planJoin(a, b, p)
+	if err != nil {
+		return nil, err
+	}
+	if !p.NoCache {
+		if res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles)); ok {
+			summary := res.Summary
+			summary.Planner = jp.plan // report this request's planning, not the filler's
+			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
+		}
+	}
+	res, key, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+		return engine.Run(ctx, algo, ea, eb, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	summary := s.summarize(jp.algo, res)
 	if !p.NoCache {
 		// Cache without the planner report: hits splice in their own.
 		s.cache.Put(key, &CachedJoin{Pairs: res.Pairs, Summary: summary})
 	}
-	summary.Planner = plan
+	summary.Planner = jp.plan
 	return &JoinOutcome{Pairs: res.Pairs, Summary: summary}, nil
+}
+
+// JoinStream runs the join of datasets a and b, delivering each result pair
+// to emit as the engine finds it instead of materializing the result. A
+// cache hit replays the cached pairs; a miss executes the engine's streaming
+// path, so server-side pair buffering is bounded by the engine's worker
+// budget plus the cache-fill tee — and the tee is abandoned the moment the
+// result provably exceeds the cache's per-entry threshold, so an
+// arbitrarily large join streams in bounded memory and is simply not
+// cached. An emit error (a slow consumer gone away, the request context
+// canceled) aborts the underlying join and is returned. The returned
+// outcome carries the summary with Pairs nil.
+func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emit func(transformers.Pair) error) (*JoinOutcome, error) {
+	jp, err := s.planJoin(a, b, p)
+	if err != nil {
+		return nil, err
+	}
+	if !p.NoCache {
+		if res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles)); ok {
+			for i, pr := range res.Pairs {
+				if err := emit(pr); err != nil {
+					s.streamedPairs.Add(uint64(i))
+					s.abortedStreams.Add(1)
+					return nil, err
+				}
+			}
+			s.streamedPairs.Add(uint64(len(res.Pairs)))
+			summary := res.Summary
+			summary.Planner = jp.plan
+			return &JoinOutcome{Summary: summary, Cached: true}, nil
+		}
+	}
+
+	// Tee emitted pairs into a bounded cache-fill buffer. The engine layer
+	// serializes emit calls and completes them before the join returns, so
+	// the closure state needs no extra synchronization.
+	maxCache := s.cache.MaxPairs()
+	caching := !p.NoCache
+	var buf []transformers.Pair
+	var streamed uint64
+	emitFailed := false
+	res, key, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+		return engine.RunStream(ctx, algo, ea, eb, opt, func(pr transformers.Pair) error {
+			if caching {
+				if len(buf) < maxCache {
+					buf = append(buf, pr)
+				} else {
+					caching, buf = false, nil // over threshold: never cached
+				}
+			}
+			if err := emit(pr); err != nil {
+				emitFailed = true
+				return err
+			}
+			streamed++ // delivered pairs only, like the cache-replay path
+			return nil
+		})
+	})
+	s.streamedPairs.Add(streamed)
+	if err != nil {
+		// aborted_streams means the consumer ended a stream that had begun:
+		// its emit failed, or its context went away after pairs flowed.
+		// Server-side execution failures and cancellations before the first
+		// pair (e.g. a client giving up while queued) are not aborts.
+		ctxGone := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if emitFailed || (streamed > 0 && ctxGone) {
+			s.abortedStreams.Add(1)
+		}
+		return nil, err
+	}
+	summary := s.summarize(jp.algo, res)
+	if caching {
+		s.cache.Put(key, &CachedJoin{Pairs: buf, Summary: summary})
+	}
+	summary.Planner = jp.plan
+	return &JoinOutcome{Summary: summary}, nil
 }
 
 // RangeQuery returns the elements of a cataloged dataset intersecting the
@@ -458,6 +579,11 @@ type Stats struct {
 	// counts executed (non-cached) joins per engine.
 	AutoJoins   uint64            `json:"auto_joins"`
 	EngineJoins map[string]uint64 `json:"engine_joins"`
+	// StreamedPairs counts pairs delivered to streaming consumers (cache
+	// replays included); AbortedStreams counts streaming joins that ended
+	// early — consumer write failure or mid-stream disconnect.
+	StreamedPairs  uint64 `json:"streamed_pairs"`
+	AbortedStreams uint64 `json:"aborted_streams"`
 	// Shard aggregates fan-out activity across executed sharded joins.
 	Shard ShardAggregate `json:"shard"`
 	// Algorithms lists the engines a join may name, plus "auto";
@@ -496,11 +622,13 @@ func (s *Service) Stats() Stats {
 	}
 	s.engineMu.Unlock()
 	return Stats{
-		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
-		Joins:        s.joins.Load(),
-		RangeQueries: s.rangeQueries.Load(),
-		AutoJoins:    s.autoJoins.Load(),
-		EngineJoins:  engineJoins,
+		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
+		Joins:          s.joins.Load(),
+		RangeQueries:   s.rangeQueries.Load(),
+		AutoJoins:      s.autoJoins.Load(),
+		EngineJoins:    engineJoins,
+		StreamedPairs:  s.streamedPairs.Load(),
+		AbortedStreams: s.abortedStreams.Load(),
 		Shard: ShardAggregate{
 			Joins:      s.shardJoins.Load(),
 			TilesRun:   s.shardTiles.Load(),

@@ -1,0 +1,292 @@
+// Serving-layer streaming tests: the NDJSON join path must deliver pairs
+// under backpressure with bounded server-side buffering, replay cache hits,
+// count its activity in /stats, and — when the consumer goes away
+// mid-stream — abort the underlying join, observe context.Canceled, and
+// release the pool slot.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/naive"
+	"repro/transformers"
+)
+
+// bigOverlapDataset builds n uniformly spread boxes grown enough that a
+// cross join of two draws yields a large result (~n²·0.027 pairs) — the
+// streaming tests need results far larger than any server-side buffer.
+func bigOverlapDataset(n int, seed int64) []transformers.Element {
+	elems := transformers.GenerateUniform(n, seed)
+	for i := range elems {
+		elems[i].Box = elems[i].Box.Expand(75)
+	}
+	return elems
+}
+
+func addDataset(t *testing.T, svc *Service, name string, elems []transformers.Element) {
+	t.Helper()
+	if _, err := svc.AddDataset(context.Background(), name, elems); err != nil {
+		t.Fatalf("AddDataset(%s): %v", name, err)
+	}
+}
+
+// TestServiceJoinStreamMatchesJoin: the streamed pair sequence must be the
+// collected result exactly — live on the first call, replayed from the
+// cache on the second — and the /stats streaming counters must advance.
+func TestServiceJoinStreamMatchesJoin(t *testing.T) {
+	svc := NewService(Config{})
+	a := transformers.GenerateUniform(1500, 61)
+	b := transformers.GenerateDenseCluster(1500, 62)
+	want := naive.Join(append([]transformers.Element(nil), a...), append([]transformers.Element(nil), b...))
+	addDataset(t, svc, "a", a)
+	addDataset(t, svc, "b", b)
+
+	collect := func() ([]transformers.Pair, *JoinOutcome) {
+		var got []transformers.Pair
+		out, err := svc.JoinStream(context.Background(), "a", "b", JoinParams{},
+			func(p transformers.Pair) error { got = append(got, p); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, out
+	}
+	got, out := collect()
+	if out.Cached {
+		t.Fatal("first stream reported cached")
+	}
+	if !naive.Equal(got, append([]transformers.Pair(nil), want...)) {
+		t.Fatalf("streamed %d pairs, naive has %d — set diverges", len(got), len(want))
+	}
+	if out.Pairs != nil {
+		t.Fatal("streaming outcome materialized pairs")
+	}
+	got2, out2 := collect()
+	if !out2.Cached {
+		t.Fatal("second stream missed the cache")
+	}
+	if !naive.Equal(got2, append([]transformers.Pair(nil), want...)) {
+		t.Fatal("cache replay diverges from live stream")
+	}
+	st := svc.Stats()
+	if st.StreamedPairs != uint64(2*len(want)) {
+		t.Fatalf("streamed_pairs = %d, want %d", st.StreamedPairs, 2*len(want))
+	}
+	if st.AbortedStreams != 0 {
+		t.Fatalf("aborted_streams = %d, want 0", st.AbortedStreams)
+	}
+}
+
+// TestServiceStreamDisconnectCancelsJoin: a consumer that cancels its
+// context mid-stream (the service-level picture of a client disconnect) must
+// get context.Canceled back, free its pool slot, and bump aborted_streams.
+func TestServiceStreamDisconnectCancelsJoin(t *testing.T) {
+	svc := NewService(Config{CacheMaxPairs: 100})
+	addDataset(t, svc, "a", bigOverlapDataset(1200, 71))
+	addDataset(t, svc, "b", bigOverlapDataset(1200, 72))
+
+	for _, algo := range []string{"transformers", "shard-grid"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		_, err := svc.JoinStream(ctx, "a", "b",
+			JoinParams{NoCache: true, Algorithm: algo, ShardTiles: 7, Parallelism: 3},
+			func(transformers.Pair) error {
+				n++
+				if n == 40 {
+					cancel()
+				}
+				return nil
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: disconnected stream returned %v, want context.Canceled", algo, err)
+		}
+	}
+
+	// An emit error (write failure) must abort the same way.
+	sentinel := errors.New("consumer write failed")
+	_, err := svc.JoinStream(context.Background(), "a", "b",
+		JoinParams{NoCache: true, Algorithm: "grid"},
+		func(transformers.Pair) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error: got %v, want sentinel", err)
+	}
+
+	st := svc.Stats()
+	if st.AbortedStreams != 3 {
+		t.Fatalf("aborted_streams = %d, want 3", st.AbortedStreams)
+	}
+	if st.Pool.Active != 0 || st.Pool.Queued != 0 {
+		t.Fatalf("pool not drained after aborts: %+v", st.Pool)
+	}
+	// The slots really are free: a fresh join must be admitted and succeed.
+	if _, err := svc.Join(context.Background(), "a", "b",
+		JoinParams{NoCache: true, Algorithm: "grid"}); err != nil {
+		t.Fatalf("join after aborted streams: %v", err)
+	}
+}
+
+// TestHTTPStreamBackpressureSlowReader: a large NDJSON join read by a slow
+// client must complete without unbounded server-side buffering — the result
+// is far over the cache threshold, so the only unbounded place it could sit
+// is a response buffer, and the engine-side bound is pinned by
+// shard.TestStreamBoundedBuffering. The stream must deliver every pair and
+// close with the summary line.
+func TestHTTPStreamBackpressureSlowReader(t *testing.T) {
+	// CacheMaxPairs 500: the ~100K-pair result must not be pinned in memory
+	// by the cache tee either.
+	ts, svc := newTestServer(t, Config{CacheMaxPairs: 500, Parallelism: 2})
+	addDataset(t, svc, "a", bigOverlapDataset(1600, 81))
+	addDataset(t, svc, "b", bigOverlapDataset(1600, 82))
+
+	want, err := svc.Join(context.Background(), "a", "b",
+		JoinParams{NoCache: true, Algorithm: "shard-grid", ShardTiles: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Summary.Results < 50_000 {
+		t.Fatalf("workload too small for a backpressure test: %d pairs", want.Summary.Results)
+	}
+
+	resp, err := http.Post(ts.URL+"/join", "application/json",
+		strings.NewReader(`{"a":"a","b":"b","stream":true,"no_cache":true,"algorithm":"shard-grid","shard_tiles":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Slow consumer: small reads with periodic stalls, so TCP flow control
+	// pushes back into the handler's writes while the join is running.
+	var raw []byte
+	buf := make([]byte, 4096)
+	reads := 0
+	for {
+		n, err := resp.Body.Read(buf)
+		raw = append(raw, buf[:n]...)
+		reads++
+		if reads%32 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], `"summary"`) {
+		t.Fatal("stream did not end with a summary line")
+	}
+	if got := uint64(len(lines) - 1); got != want.Summary.Results {
+		t.Fatalf("streamed %d pairs, collected join has %d", got, want.Summary.Results)
+	}
+	st := svc.Stats()
+	if st.Cache.Entries != 0 {
+		t.Fatalf("over-threshold result was cached (%d entries)", st.Cache.Entries)
+	}
+	if st.StreamedPairs < want.Summary.Results {
+		t.Fatalf("streamed_pairs = %d, want >= %d", st.StreamedPairs, want.Summary.Results)
+	}
+}
+
+// brokenPipeWriter fails every write after failAfter bytes and cancels the
+// request context, mimicking what net/http does when the peer vanishes
+// mid-response.
+type brokenPipeWriter struct {
+	hdr       http.Header
+	written   int
+	failAfter int
+	cancel    context.CancelFunc
+	failed    atomic.Bool
+}
+
+func (w *brokenPipeWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = make(http.Header)
+	}
+	return w.hdr
+}
+func (w *brokenPipeWriter) WriteHeader(int) {}
+func (w *brokenPipeWriter) Write(p []byte) (int, error) {
+	if w.written += len(p); w.written > w.failAfter {
+		w.failed.Store(true)
+		w.cancel()
+		return 0, fmt.Errorf("write tcp: broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestHTTPStreamClientDisconnect: a mid-stream disconnect (failing writes +
+// canceled request context) must abort the underlying join, release the pool
+// slot, and count one aborted stream.
+func TestHTTPStreamClientDisconnect(t *testing.T) {
+	svc := NewService(Config{CacheMaxPairs: 100})
+	addDataset(t, svc, "a", bigOverlapDataset(1200, 91))
+	addDataset(t, svc, "b", bigOverlapDataset(1200, 92))
+	h := NewHandler(svc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/join",
+		strings.NewReader(`{"a":"a","b":"b","stream":true,"no_cache":true,"algorithm":"shard-grid","shard_tiles":7,"parallelism":3}`)).
+		WithContext(ctx)
+	w := &brokenPipeWriter{failAfter: 128 << 10, cancel: cancel}
+	h.ServeHTTP(w, req) // must return despite the gone client
+
+	if !w.failed.Load() {
+		t.Fatal("writer never failed — result too small to exercise a mid-stream disconnect")
+	}
+	st := svc.Stats()
+	if st.AbortedStreams != 1 {
+		t.Fatalf("aborted_streams = %d, want 1", st.AbortedStreams)
+	}
+	if st.Pool.Active != 0 || st.Pool.Queued != 0 {
+		t.Fatalf("pool slot not released after disconnect: %+v", st.Pool)
+	}
+	if _, err := svc.Join(context.Background(), "a", "b",
+		JoinParams{NoCache: true, Algorithm: "grid"}); err != nil {
+		t.Fatalf("join after disconnect: %v", err)
+	}
+}
+
+// TestHTTPStreamZeroPairs: a streaming join with an empty result must still
+// answer 200 with the NDJSON summary as its only line.
+func TestHTTPStreamZeroPairs(t *testing.T) {
+	ts, svc := newTestServer(t, Config{})
+	// Provably disjoint datasets: every a-box sits far below every b-box.
+	var a, b []transformers.Element
+	for i := 0; i < 40; i++ {
+		f := float64(i)
+		a = append(a, transformers.Element{ID: uint64(i), Box: transformers.Box{
+			Lo: [3]float64{f, f, 1}, Hi: [3]float64{f + 0.5, f + 0.5, 2}}})
+		b = append(b, transformers.Element{ID: uint64(i), Box: transformers.Box{
+			Lo: [3]float64{f, f, 900}, Hi: [3]float64{f + 0.5, f + 0.5, 901}}})
+	}
+	addDataset(t, svc, "a", a)
+	addDataset(t, svc, "b", b)
+	resp, err := http.Post(ts.URL+"/join", "application/json",
+		strings.NewReader(`{"a":"a","b":"b","stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"summary"`) {
+		t.Fatalf("zero-pair stream = %q, want single summary line", string(body))
+	}
+}

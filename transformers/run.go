@@ -162,3 +162,18 @@ func Run(alg Algorithm, a, b []Element, opt RunOptions) (*RunReport, error) {
 	}
 	return reportFromResult(res), nil
 }
+
+// RunStream executes one algorithm like Run but delivers each result pair to
+// emit as the join finds it instead of materializing the result: memory
+// stays bounded by the engine's working state even when a skewed join's
+// output approaches |A|·|B|. Returning an error from emit aborts the join
+// early and RunStream returns that error (a canceled ctx aborts the same
+// way). The report's counters cover the completed join; Pairs is always nil
+// and RunOptions.CollectPairs is ignored.
+func RunStream(ctx context.Context, alg Algorithm, a, b []Element, opt RunOptions, emit func(Pair) error) (*RunReport, error) {
+	res, err := engine.RunStream(ctx, string(alg), a, b, opt.engineOptions(), emit)
+	if err != nil {
+		return nil, fmt.Errorf("transformers: %w", err)
+	}
+	return reportFromResult(res), nil
+}
