@@ -20,8 +20,15 @@
 //	                     the choice and the ranked scores)
 //	POST /join/distance  same plus "distance": d (Chebyshev, §VIII)
 //	POST /query/range    {"dataset","box":{"lo":[x,y,z],"hi":[x,y,z]},"stream"?}
-//	GET  /healthz        liveness
-//	GET  /stats          catalog / cache / pool counters
+//	GET  /healthz        liveness; "degraded" with reasons while a tenant
+//	                     queue sheds or a dataset serves a stale last-good
+//	GET  /stats          catalog / cache / pool / per-tenant counters
+//
+// Every request may carry an X-Tenant header (admission control bills the
+// request to that tenant's fair share; X-Priority: batch selects the batch
+// lane) and a "timeout_ms" body field (deadline; the join aborts
+// cooperatively on expiry). Overloaded tenants get 429, global saturation
+// 503, expired deadlines 504.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (bounded by -shutdown-timeout), new connections are refused.
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -59,6 +67,11 @@ func main() {
 	maxGenerate := flag.Int("max-generate", 0, "largest server-side generated dataset (0 = default 5M elements)")
 	maxBody := flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = default 256MB)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	tenantSlots := flag.Int("tenant-slots", 0, "max concurrently executing slot units per tenant while others wait (0 = no per-tenant cap)")
+	tenantQueue := flag.Int("tenant-queue", 0, "max queued requests per tenant before 429 (0 = no per-tenant cap)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "default per-request deadline when a request sets no timeout_ms (0 = none)")
+	faults := flag.String("faults", "", "DEV ONLY: fault-injection scenario for soak testing, e.g. 'read-error,slow-read:delay=2ms' (see internal/faultinject)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for randomized parameters of -faults clauses")
 	flag.Parse()
 
 	if *defaultAlgo != "" && *defaultAlgo != server.AlgorithmAuto {
@@ -67,7 +80,7 @@ func main() {
 		}
 	}
 
-	svc := server.NewService(server.Config{
+	cfg := server.Config{
 		PageSize:            *pageSize,
 		MaxIndexes:          *maxIndexes,
 		CacheEntries:        *cacheEntries,
@@ -78,7 +91,24 @@ func main() {
 		MaxGenerateElements: *maxGenerate,
 		MaxBodyBytes:        *maxBody,
 		DefaultAlgorithm:    *defaultAlgo,
-	})
+		TenantSlots:         *tenantSlots,
+		TenantQueue:         *tenantQueue,
+		DefaultTimeout:      *defaultTimeout,
+	}
+	if *faults != "" {
+		sc, err := faultinject.Parse(*faults, *faultSeed)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		// Catalog index builds (and the joins reading those indexes) run on
+		// fault-injecting stores; the faulty engine wraps the default
+		// TRANSFORMERS engine with the emit/stall faults and is selectable
+		// via "algorithm": "faulty".
+		cfg.StoreFactory = sc.StoreFactory
+		engine.Register(sc.Engine("faulty", engine.Transformers))
+		log.Printf("FAULT INJECTION ACTIVE (dev only): scenario %v, seed %d", sc, *faultSeed)
+	}
+	svc := server.NewService(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.NewHandler(svc),

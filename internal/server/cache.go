@@ -70,6 +70,10 @@ type JoinSummary struct {
 	Shard *engine.ShardStats `json:"shard,omitempty"`
 	// Planner is present when the request asked for "auto".
 	Planner *PlannerInfo `json:"planner,omitempty"`
+	// Stale marks a result served from a last-good dataset generation
+	// while the current one was failing to build. Per-request, never
+	// cached (the cache key pins the versions actually served).
+	Stale bool `json:"stale,omitempty"`
 }
 
 // CachedJoin is one cached result.

@@ -1,19 +1,23 @@
 // Package server is the spatial query serving layer: a concurrency-safe
 // catalog of named datasets and their built TRANSFORMERS indexes, an LRU
-// cache of join results, a bounded worker pool for join execution, and the
-// HTTP handlers of the spatialjoind daemon.
+// cache of join results, a tenant-fair admission pool for join execution, and
+// the HTTP handlers of the spatialjoind daemon.
 //
 // The paper's index is built once per dataset and reused across any number
 // of joins (§III); the catalog turns that property into a serving primitive:
 // clients upload or generate datasets once, then issue joins, distance joins
 // and range queries against the built indexes for as long as the daemon
 // lives. Builds are single-flight (concurrent requests for the same index
-// wait for one build), indexes are ref-counted while queries run on them,
-// and cold indexes are evicted LRU when the catalog exceeds its cap —
-// they rebuild transparently on next use, because the raw elements stay.
+// wait for one build) and retry transient storage faults with jittered
+// backoff; while a replacement build keeps failing, the catalog serves the
+// last-good dataset version instead of erroring. Indexes are ref-counted
+// while queries run on them, and cold indexes are evicted LRU when the
+// catalog exceeds its cap — they rebuild transparently on next use, because
+// the raw elements stay.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/engine/planner"
+	"repro/internal/storage"
 	"repro/transformers"
 )
 
@@ -32,6 +37,20 @@ var ErrUnknownDataset = errors.New("server: unknown dataset")
 // cold ones.
 const DefaultMaxIndexes = 64
 
+// BuildError reports an index build that failed even after retrying.
+type BuildError struct {
+	// Attempts is the number of build attempts made (retries + 1).
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("server: index build failed after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
 // Catalog maps dataset names to raw elements and lazily built indexes. One
 // dataset can carry several index variants, keyed by the distance-join
 // expansion applied to its boxes (0 = the base index); each variant is built
@@ -42,8 +61,17 @@ type Catalog struct {
 	pageSize   int
 	clock      uint64
 	datasets   map[string]*dataset
-	builds     uint64
-	evictions  uint64
+	retry      RetryPolicy
+	// storeFactory builds the page store behind each index build attempt
+	// (a fresh store per attempt, so a half-written store from a failed
+	// attempt is never reused). Nil selects an in-memory store; tests and
+	// the -faults flag install fault-injecting factories here.
+	storeFactory func(pageSize int) storage.Store
+
+	builds         uint64
+	evictions      uint64
+	retries        uint64
+	lastGoodServes uint64
 }
 
 // CatalogStats is a point-in-time snapshot of catalog activity.
@@ -52,6 +80,11 @@ type CatalogStats struct {
 	Indexes   int    `json:"indexes"`
 	Builds    uint64 `json:"builds"`
 	Evictions uint64 `json:"evictions"`
+	// Retries counts index build attempts beyond each build's first;
+	// LastGoodServes counts acquisitions satisfied by a stale last-good
+	// generation while the current one was failing to build.
+	Retries        uint64 `json:"retries"`
+	LastGoodServes uint64 `json:"last_good_serves"`
 }
 
 // DatasetInfo describes one cataloged dataset for /stats, including the
@@ -61,20 +94,41 @@ type DatasetInfo struct {
 	Elements int    `json:"elements"`
 	Version  uint64 `json:"version"`
 	Indexes  int    `json:"indexes"`
+	// Degraded marks a dataset whose current version is failing to build
+	// (queries may be served from the last-good version).
+	Degraded bool `json:"degraded,omitempty"`
 	// SkewCV and ClusterFraction are the planner's cached distribution
 	// signals (see planner.DatasetStats).
 	SkewCV          float64 `json:"skew_cv"`
 	ClusterFraction float64 `json:"cluster_fraction"`
 }
 
-type dataset struct {
-	name    string
+// generation is one uploaded version of a dataset: its elements, planner
+// fingerprint and built index variants. The catalog keeps at most two per
+// dataset: the current one, and — while the current one has never built
+// successfully — the last-good predecessor, served stale when current builds
+// fail.
+type generation struct {
 	elems   []transformers.Element
 	version uint64
+	stats   planner.DatasetStats
 	indexes map[float64]*idxEntry
-	// stats is the planner fingerprint of elems, computed once per version
-	// at registration so every "auto" join plans from cached signals.
-	stats planner.DatasetStats
+	// healthy is set on the generation's first successful index build:
+	// only generations that proved buildable are worth keeping as
+	// last-good fallbacks.
+	healthy bool
+}
+
+type dataset struct {
+	name string
+	cur  *generation
+	// last is the previous healthy generation, kept as the stale fallback
+	// until cur proves healthy; nil otherwise.
+	last *generation
+	// failing is the latest build failure of cur (nil once a build
+	// succeeds or a new version is uploaded). While set, acquisitions fall
+	// back to last and health reports the dataset degraded.
+	failing error
 }
 
 // idxEntry is one built (or building) index variant. ready is closed when
@@ -102,10 +156,28 @@ func NewCatalog(maxIndexes, pageSize int) *Catalog {
 	}
 }
 
-// Put registers (or replaces) a named dataset. Existing index variants of a
-// replaced dataset are dropped and the version is bumped, so cached join
-// results keyed by the old version can never be served again. The element
-// slice is owned by the catalog afterwards.
+// SetStoreFactory overrides the page store behind index builds (nil restores
+// the in-memory default). Each build attempt gets a fresh store from the
+// factory.
+func (c *Catalog) SetStoreFactory(f func(pageSize int) storage.Store) {
+	c.mu.Lock()
+	c.storeFactory = f
+	c.mu.Unlock()
+}
+
+// SetRetryPolicy overrides the build retry policy (zero fields take
+// defaults).
+func (c *Catalog) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	c.retry = p
+	c.mu.Unlock()
+}
+
+// Put registers (or replaces) a named dataset. The previous generation stays
+// behind as the last-good fallback if it ever built successfully; its index
+// variants remain pinned-valid for running queries, and cached join results
+// keyed by the old version can never be served for the new one because the
+// version is bumped. The element slice is owned by the catalog afterwards.
 func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
 	// The O(n) statistics pass runs before the lock: planning signals are
 	// version-scoped and must not stall concurrent catalog traffic.
@@ -117,14 +189,21 @@ func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
 		ds = &dataset{name: name}
 		c.datasets[name] = ds
 	}
-	ds.elems = elems
-	ds.stats = stats
-	ds.version++
-	// Orphan every old variant: in-flight builds finish against the old
-	// elements but are no longer reachable, pinned readers keep their handle
-	// valid until release.
-	ds.indexes = make(map[float64]*idxEntry)
-	return ds.version
+	version := uint64(1)
+	if ds.cur != nil {
+		version = ds.cur.version + 1
+		if ds.cur.healthy {
+			ds.last = ds.cur
+		}
+	}
+	ds.cur = &generation{
+		elems:   elems,
+		version: version,
+		stats:   stats,
+		indexes: make(map[float64]*idxEntry),
+	}
+	ds.failing = nil
+	return version
 }
 
 // Handle pins one built index until Release is called.
@@ -134,6 +213,13 @@ type Handle struct {
 	Index   *transformers.Index
 	Name    string
 	Version uint64
+	// Stale marks a handle served from the last-good generation while the
+	// current one is failing to build; Version is then the stale
+	// generation's version.
+	Stale bool
+	// Retries is the number of build retries this acquisition performed
+	// (0 for cache hits and waiters).
+	Retries int
 }
 
 // Release unpins the index; idempotent.
@@ -145,23 +231,33 @@ func (h *Handle) Release() {
 	h.cat, h.entry = nil, nil
 	cat.mu.Lock()
 	e.refs--
-	c := cat
-	c.clock++
-	e.lastUse = c.clock
-	c.evictLocked()
+	cat.clock++
+	e.lastUse = cat.clock
+	cat.evictLocked()
 	cat.mu.Unlock()
+}
+
+func validExpand(expand float64) error {
+	// NaN must be rejected, not just negatives: a NaN map key can never be
+	// looked up or deleted again, which would defeat single-flight and make
+	// the eviction loop spin on an unremovable victim.
+	if expand < 0 || math.IsNaN(expand) || math.IsInf(expand, 0) {
+		return fmt.Errorf("server: invalid expansion %v", expand)
+	}
+	return nil
 }
 
 // Acquire returns a pinned handle on the index of dataset name with every
 // box expanded by expand/2 per side (expand 0 = the base index), building it
 // if needed. Concurrent acquisitions of the same variant share one build
-// (single-flight); the caller must Release the handle when done.
-func (c *Catalog) Acquire(name string, expand float64) (*Handle, error) {
-	// NaN must be rejected, not just negatives: a NaN map key can never be
-	// looked up or deleted again, which would defeat single-flight and make
-	// the eviction loop spin on an unremovable victim.
-	if expand < 0 || math.IsNaN(expand) || math.IsInf(expand, 0) {
-		return nil, fmt.Errorf("server: invalid expansion %v", expand)
+// (single-flight) including its retries; transient build failures are retried
+// with jittered backoff, and when the build still fails, the last-good
+// generation's variant is served stale if it exists. The caller must Release
+// the handle when done. ctx bounds only the backoff waits of a build this
+// caller performs, never a wait on another caller's in-flight build.
+func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Handle, error) {
+	if err := validExpand(expand); err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	ds := c.datasets[name]
@@ -169,17 +265,22 @@ func (c *Catalog) Acquire(name string, expand float64) (*Handle, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	version := ds.version
-	if e, ok := ds.indexes[expand]; ok {
+	gen := ds.cur
+	version := gen.version
+	if e, ok := gen.indexes[expand]; ok {
 		e.refs++
 		c.clock++
 		e.lastUse = c.clock
 		c.mu.Unlock()
 		<-e.ready // single-flight: wait for the (possibly in-flight) build
 		if e.err != nil {
+			err := e.err
 			h := &Handle{cat: c, entry: e}
 			h.Release()
-			return nil, e.err
+			if fb := c.lastGood(name, gen, expand); fb != nil {
+				return fb, nil
+			}
+			return nil, err
 		}
 		return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: version}, nil
 	}
@@ -188,37 +289,81 @@ func (c *Catalog) Acquire(name string, expand float64) (*Handle, error) {
 	e := &idxEntry{expand: expand, ready: make(chan struct{}), refs: 1}
 	c.clock++
 	e.lastUse = c.clock
-	ds.indexes[expand] = e
+	gen.indexes[expand] = e
 	c.builds++
 	// BuildIndex reorders its input in place, and ExpandForDistance must not
 	// observe a concurrent reorder — always build from a private copy taken
 	// under the lock.
-	elems := append([]transformers.Element(nil), ds.elems...)
+	elems := append([]transformers.Element(nil), gen.elems...)
 	pageSize := c.pageSize
+	policy := c.retry
+	factory := c.storeFactory
 	c.mu.Unlock()
 
 	if expand > 0 {
 		var err error
 		if elems, err = transformers.ExpandForDistance(elems, expand); err != nil {
-			c.finishBuild(ds, e, nil, err)
+			// A geometry error is permanent: no retry, no fallback masking.
+			c.finishBuild(ds, gen, e, nil, err, 0)
 			return nil, err
 		}
 	}
-	idx, err := transformers.BuildIndex(elems, transformers.IndexOptions{PageSize: pageSize})
-	c.finishBuild(ds, e, idx, err)
-	if err != nil {
-		return nil, err
+	var idx *transformers.Index
+	buildErr, retries := retryTransient(ctx, policy, storage.IsTransient, func() error {
+		var st storage.Store
+		if factory != nil {
+			st = factory(pageSize)
+		}
+		var err error
+		// BuildIndex only reads elems after the STR reorder, and a failed
+		// attempt leaves them reordered but intact — safe to reuse across
+		// attempts.
+		idx, err = transformers.BuildIndex(elems, transformers.IndexOptions{PageSize: pageSize, Store: st})
+		return err
+	})
+	if buildErr != nil {
+		buildErr = &BuildError{Attempts: retries + 1, Err: buildErr}
 	}
-	return &Handle{cat: c, entry: e, Index: idx, Name: name, Version: version}, nil
+	c.finishBuild(ds, gen, e, idx, buildErr, retries)
+	if buildErr != nil {
+		if fb := c.lastGood(name, gen, expand); fb != nil {
+			return fb, nil
+		}
+		return nil, buildErr
+	}
+	return &Handle{cat: c, entry: e, Index: idx, Name: name, Version: version, Retries: retries}, nil
+}
+
+// lastGood returns a pinned stale handle on dataset name's last-good
+// generation variant, if failedGen is still the current generation and the
+// fallback variant is built and healthy. Last-good variants are served as
+// built, never built on demand — an unbuilt fallback is no fallback.
+func (c *Catalog) lastGood(name string, failedGen *generation, expand float64) *Handle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil || ds.cur != failedGen || ds.last == nil {
+		return nil
+	}
+	e, ok := ds.last.indexes[expand]
+	if !ok || !isReady(e) || e.err != nil {
+		return nil
+	}
+	e.refs++
+	c.clock++
+	e.lastUse = c.clock
+	c.lastGoodServes++
+	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: ds.last.version, Stale: true}
 }
 
 // TryAcquire returns a pinned handle only when the variant is already built
-// and healthy; ok=false means the caller must go through Acquire (and should
-// do so under build admission control — TryAcquire never builds and never
-// blocks on an in-flight build).
+// and healthy — from the current generation, or stale from the last-good one
+// while the current generation is failing. ok=false means the caller must go
+// through Acquire (and should do so under build admission control —
+// TryAcquire never builds and never blocks on an in-flight build).
 func (c *Catalog) TryAcquire(name string, expand float64) (*Handle, bool, error) {
-	if expand < 0 || math.IsNaN(expand) || math.IsInf(expand, 0) {
-		return nil, false, fmt.Errorf("server: invalid expansion %v", expand)
+	if err := validExpand(expand); err != nil {
+		return nil, false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -226,55 +371,102 @@ func (c *Catalog) TryAcquire(name string, expand float64) (*Handle, bool, error)
 	if ds == nil {
 		return nil, false, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	e, ok := ds.indexes[expand]
+	gen, stale := ds.cur, false
+	e, ok := gen.indexes[expand]
+	if (!ok || !isReady(e) || e.err != nil) && ds.failing != nil && ds.last != nil {
+		gen, stale = ds.last, true
+		e, ok = gen.indexes[expand]
+	}
 	if !ok || !isReady(e) || e.err != nil {
 		return nil, false, nil
 	}
 	e.refs++
 	c.clock++
 	e.lastUse = c.clock
-	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: ds.version}, true, nil
+	if stale {
+		c.lastGoodServes++
+	}
+	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: gen.version, Stale: stale}, true, nil
 }
 
 // finishBuild publishes a build outcome and wakes the waiters. Failed builds
-// are removed from the catalog so the next Acquire retries.
-func (c *Catalog) finishBuild(ds *dataset, e *idxEntry, idx *transformers.Index, err error) {
+// are removed from the generation so the next Acquire retries; a success on
+// the current generation clears the dataset's failing state and drops the
+// stale fallback.
+func (c *Catalog) finishBuild(ds *dataset, gen *generation, e *idxEntry, idx *transformers.Index, err error, retries int) {
 	c.mu.Lock()
 	e.idx, e.err = idx, err
 	close(e.ready)
+	c.retries += uint64(retries)
 	if err != nil {
 		e.refs-- // drop the builder's pin; waiters drop theirs on wake
-		if cur, ok := ds.indexes[e.expand]; ok && cur == e {
-			delete(ds.indexes, e.expand)
+		if cur, ok := gen.indexes[e.expand]; ok && cur == e {
+			delete(gen.indexes, e.expand)
+		}
+		if ds.cur == gen {
+			ds.failing = err
 		}
 	} else {
+		gen.healthy = true
+		if ds.cur == gen {
+			ds.failing = nil
+			ds.last = nil // cur proved healthy; the fallback has served its purpose
+		}
 		c.evictLocked()
 	}
 	c.mu.Unlock()
 }
 
+// Degraded lists the datasets whose current generation is failing to build,
+// for health reporting.
+func (c *Catalog) Degraded() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name, ds := range c.datasets {
+		if ds.failing == nil {
+			continue
+		}
+		if ds.last != nil {
+			out = append(out, fmt.Sprintf("dataset %q: serving last-good version %d (build failing: %v)",
+				name, ds.last.version, ds.failing))
+		} else {
+			out = append(out, fmt.Sprintf("dataset %q: builds failing: %v", name, ds.failing))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // evictLocked drops least-recently-used unpinned indexes until the built
 // count is within the cap. Pinned or still-building entries are never
-// evicted; if everything is pinned the catalog temporarily overflows.
+// evicted, and neither is the last-good fallback of a failing dataset (it
+// may be the only servable copy); if everything is protected the catalog
+// temporarily overflows.
 func (c *Catalog) evictLocked() {
 	for c.countReadyLocked() > c.maxIndexes {
-		var victimDS *dataset
+		var victimGen *generation
 		var victimKey float64
 		var victim *idxEntry
 		for _, ds := range c.datasets {
-			for k, e := range ds.indexes {
-				if e.refs > 0 || !isReady(e) || e.err != nil {
+			for _, gen := range []*generation{ds.cur, ds.last} {
+				if gen == nil || (gen == ds.last && ds.failing != nil) {
 					continue
 				}
-				if victim == nil || e.lastUse < victim.lastUse {
-					victimDS, victimKey, victim = ds, k, e
+				for k, e := range gen.indexes {
+					if e.refs > 0 || !isReady(e) || e.err != nil {
+						continue
+					}
+					if victim == nil || e.lastUse < victim.lastUse {
+						victimGen, victimKey, victim = gen, k, e
+					}
 				}
 			}
 		}
 		if victim == nil {
 			return
 		}
-		delete(victimDS.indexes, victimKey)
+		delete(victimGen.indexes, victimKey)
 		c.evictions++
 	}
 }
@@ -282,9 +474,14 @@ func (c *Catalog) evictLocked() {
 func (c *Catalog) countReadyLocked() int {
 	n := 0
 	for _, ds := range c.datasets {
-		for _, e := range ds.indexes {
-			if isReady(e) && e.err == nil {
-				n++
+		for _, gen := range []*generation{ds.cur, ds.last} {
+			if gen == nil {
+				continue
+			}
+			for _, e := range gen.indexes {
+				if isReady(e) && e.err == nil {
+					n++
+				}
 			}
 		}
 	}
@@ -310,7 +507,7 @@ func (c *Catalog) DatasetStats(name string) (planner.DatasetStats, uint64, error
 	if ds == nil {
 		return planner.DatasetStats{}, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	return ds.stats, ds.version, nil
+	return ds.cur.stats, ds.cur.version, nil
 }
 
 // Elements returns a private copy of a dataset's raw elements and the copied
@@ -323,11 +520,11 @@ func (c *Catalog) Elements(name string) ([]transformers.Element, uint64, error) 
 		c.mu.Unlock()
 		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	elems, version := ds.elems, ds.version
+	elems, version := ds.cur.elems, ds.cur.version
 	c.mu.Unlock()
-	// The O(n) copy runs outside the lock: Put replaces ds.elems wholesale
-	// and nothing mutates the old slice, so the snapshot taken above stays
-	// immutable even if the dataset is replaced mid-copy.
+	// The O(n) copy runs outside the lock: Put replaces the generation
+	// wholesale and nothing mutates the old slice, so the snapshot taken
+	// above stays immutable even if the dataset is replaced mid-copy.
 	return append([]transformers.Element(nil), elems...), version, nil
 }
 
@@ -339,7 +536,7 @@ func (c *Catalog) Version(name string) (uint64, error) {
 	if ds == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	return ds.version, nil
+	return ds.cur.version, nil
 }
 
 // Stats returns a snapshot of catalog counters.
@@ -347,10 +544,12 @@ func (c *Catalog) Stats() CatalogStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CatalogStats{
-		Datasets:  len(c.datasets),
-		Indexes:   c.countReadyLocked(),
-		Builds:    c.builds,
-		Evictions: c.evictions,
+		Datasets:       len(c.datasets),
+		Indexes:        c.countReadyLocked(),
+		Builds:         c.builds,
+		Evictions:      c.evictions,
+		Retries:        c.retries,
+		LastGoodServes: c.lastGoodServes,
 	}
 }
 
@@ -362,11 +561,12 @@ func (c *Catalog) Datasets() []DatasetInfo {
 	for _, ds := range c.datasets {
 		out = append(out, DatasetInfo{
 			Name:            ds.name,
-			Elements:        len(ds.elems),
-			Version:         ds.version,
-			Indexes:         len(ds.indexes),
-			SkewCV:          ds.stats.SkewCV,
-			ClusterFraction: ds.stats.ClusterFraction,
+			Elements:        len(ds.cur.elems),
+			Version:         ds.cur.version,
+			Indexes:         len(ds.cur.indexes),
+			Degraded:        ds.failing != nil,
+			SkewCV:          ds.cur.stats.SkewCV,
+			ClusterFraction: ds.cur.stats.ClusterFraction,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

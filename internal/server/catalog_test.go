@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -14,7 +15,7 @@ func elemsN(n int, seed int64) []transformers.Element {
 
 func TestCatalogUnknownDataset(t *testing.T) {
 	c := NewCatalog(0, 0)
-	if _, err := c.Acquire("nope", 0); !errors.Is(err, ErrUnknownDataset) {
+	if _, err := c.Acquire(context.Background(), "nope", 0); !errors.Is(err, ErrUnknownDataset) {
 		t.Fatalf("err = %v, want ErrUnknownDataset", err)
 	}
 	if _, err := c.Version("nope"); !errors.Is(err, ErrUnknownDataset) {
@@ -35,7 +36,7 @@ func TestCatalogSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			h, err := c.Acquire("ds", 0)
+			h, err := c.Acquire(context.Background(), "ds", 0)
 			if err != nil {
 				t.Error(err)
 				return
@@ -60,7 +61,7 @@ func TestCatalogBuildOnceQueryMany(t *testing.T) {
 	c := NewCatalog(0, 0)
 	c.Put("ds", elemsN(2000, 2))
 	for i := 0; i < 10; i++ {
-		h, err := c.Acquire("ds", 0)
+		h, err := c.Acquire(context.Background(), "ds", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,13 +79,13 @@ func TestCatalogRefCountedEviction(t *testing.T) {
 	c.Put("a", elemsN(1000, 3))
 	c.Put("b", elemsN(1000, 4))
 
-	ha, err := c.Acquire("a", 0)
+	ha, err := c.Acquire(context.Background(), "a", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second build overflows the cap, but "a" is pinned and "b" is the one
 	// being acquired — nothing evictable yet.
-	hb, err := c.Acquire("b", 0)
+	hb, err := c.Acquire(context.Background(), "b", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCatalogRefCountedEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", got)
 	}
 	// "a" is still served without a rebuild...
-	ha2, err := c.Acquire("a", 0)
+	ha2, err := c.Acquire(context.Background(), "a", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestCatalogRefCountedEviction(t *testing.T) {
 		t.Fatalf("builds = %d, want 2 (a kept)", got)
 	}
 	// ...and "b" transparently rebuilds.
-	hb2, err := c.Acquire("b", 0)
+	hb2, err := c.Acquire(context.Background(), "b", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestCatalogRefCountedEviction(t *testing.T) {
 func TestCatalogReplaceBumpsVersion(t *testing.T) {
 	c := NewCatalog(0, 0)
 	c.Put("ds", elemsN(1000, 5))
-	h1, err := c.Acquire("ds", 0)
+	h1, err := c.Acquire(context.Background(), "ds", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestCatalogReplaceBumpsVersion(t *testing.T) {
 		t.Fatalf("version = %d, want 1", h1.Version)
 	}
 	c.Put("ds", elemsN(500, 6))
-	h2, err := c.Acquire("ds", 0)
+	h2, err := c.Acquire(context.Background(), "ds", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,18 +165,18 @@ func TestCatalogReplaceBumpsVersion(t *testing.T) {
 func TestCatalogDistanceVariant(t *testing.T) {
 	c := NewCatalog(0, 0)
 	c.Put("ds", elemsN(800, 7))
-	h0, err := c.Acquire("ds", 0)
+	h0, err := c.Acquire(context.Background(), "ds", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h5, err := c.Acquire("ds", 5)
+	h5, err := c.Acquire(context.Background(), "ds", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h0.Index == h5.Index {
 		t.Fatal("distance variant shares the base index")
 	}
-	h5b, err := c.Acquire("ds", 5)
+	h5b, err := c.Acquire(context.Background(), "ds", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestCatalogDistanceVariant(t *testing.T) {
 	h0.Release()
 	h5.Release()
 	h5b.Release()
-	if _, err := c.Acquire("ds", -1); err == nil {
+	if _, err := c.Acquire(context.Background(), "ds", -1); err == nil {
 		t.Fatal("negative expansion accepted")
 	}
 }

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/geom"
@@ -65,6 +67,9 @@ type datasetRequest struct {
 	Name     string        `json:"name"`
 	Elements []elementDTO  `json:"elements,omitempty"`
 	Generate *generateSpec `json:"generate,omitempty"`
+	// TimeoutMS bounds this registration (build included); the server
+	// default applies when zero.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type joinRequest struct {
@@ -82,6 +87,11 @@ type joinRequest struct {
 	Stream       bool `json:"stream,omitempty"`
 	IncludePairs bool `json:"include_pairs,omitempty"`
 	NoCache      bool `json:"no_cache,omitempty"`
+	// TimeoutMS bounds this join end to end: on expiry the kernels abort
+	// cooperatively, the slot is released, and the request answers 504 (or
+	// an aborted NDJSON trailer if the stream already started). The server
+	// default applies when zero.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type pairDTO struct {
@@ -101,6 +111,8 @@ type rangeRequest struct {
 	Dataset string `json:"dataset"`
 	Box     boxDTO `json:"box"`
 	Stream  bool   `json:"stream,omitempty"`
+	// TimeoutMS bounds the query; the server default applies when zero.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type rangeResponse struct {
@@ -121,6 +133,51 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// maxTenantLen caps the accepted X-Tenant header: tenant IDs key maps and
+// appear in /stats, so an adversarial header must not grow state unboundedly
+// per request (beyond one entry per distinct tenant, which admission control
+// itself bounds the damage of).
+const maxTenantLen = 64
+
+// tenantFromHeaders reads the request's tenant identity: X-Tenant names the
+// tenant (default tenant when absent), X-Priority: batch selects the batch
+// admission lane.
+func tenantFromHeaders(r *http.Request) TenantInfo {
+	id := strings.TrimSpace(r.Header.Get("X-Tenant"))
+	if len(id) > maxTenantLen {
+		id = id[:maxTenantLen]
+	}
+	clean := strings.Map(func(c rune) rune {
+		if c < 0x20 || c == 0x7f {
+			return -1
+		}
+		return c
+	}, id)
+	if clean == "" {
+		clean = DefaultTenant
+	}
+	pr := Interactive
+	if strings.EqualFold(strings.TrimSpace(r.Header.Get("X-Priority")), "batch") {
+		pr = Batch
+	}
+	return TenantInfo{ID: clean, Priority: pr}
+}
+
+// requestContext derives the working context of one request: tenant identity
+// attached, and the deadline from the request's timeout_ms or the server
+// default. The returned cancel must always be called.
+func requestContext(svc *Service, r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := WithTenant(r.Context(), tenantFromHeaders(r))
+	d := svc.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
 // NewHandler returns the daemon's HTTP handler over svc.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -129,7 +186,9 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /join/distance", func(w http.ResponseWriter, r *http.Request) { handleJoin(svc, w, r, true) })
 	mux.HandleFunc("POST /query/range", func(w http.ResponseWriter, r *http.Request) { handleRange(svc, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		// Always 200 — degradation is a serving mode, not an outage; load
+		// balancers should not pull a daemon that is shedding one tenant.
+		writeJSON(w, http.StatusOK, svc.Health())
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
@@ -144,7 +203,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps service errors onto HTTP status codes.
+// writeError maps service errors onto HTTP status codes: 429 for a shed
+// request (back off your traffic — the daemon is fine), 503 for global
+// saturation, 504 for an expired request deadline.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -152,8 +213,14 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrUnknownAlgorithm):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -214,7 +281,9 @@ func handleDatasets(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "provide elements or generate"})
 		return
 	}
-	info, err := svc.AddDataset(r.Context(), req.Name, elems)
+	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
+	defer cancel()
+	info, err := svc.AddDataset(ctx, req.Name, elems)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -242,11 +311,13 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance is only valid on /join/distance"})
 		return
 	}
+	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
+	defer cancel()
 	if req.Stream {
-		streamJoin(svc, w, r, req, params)
+		streamJoin(svc, ctx, w, req, params)
 		return
 	}
-	out, err := svc.Join(r.Context(), req.A, req.B, params)
+	out, err := svc.Join(ctx, req.A, req.B, params)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -277,14 +348,29 @@ const streamFlushEvery = 512
 // aborts the join and frees the slot.
 const streamWriteTimeout = 30 * time.Second
 
+// streamTrailer is the final NDJSON line of every stream that got past the
+// headers: either the summary of a completed join, or the error of an
+// aborted one. "aborted" is the field clients key truncation detection on —
+// a stream whose last line lacks aborted:false did not complete — and
+// "pairs" says how many pair lines preceded it, so even a consumer that lost
+// count can tell a truncated pair list from a complete one.
+type streamTrailer struct {
+	Summary *JoinSummary `json:"summary,omitempty"`
+	Cached  bool         `json:"cached"`
+	Error   string       `json:"error,omitempty"`
+	Aborted bool         `json:"aborted"`
+	Pairs   int          `json:"pairs"`
+}
+
 // streamJoin runs the join through the service's streaming path and writes
-// NDJSON as pairs surface: one pair object per line, then one final summary
+// NDJSON as pairs surface: one pair object per line, then one final trailer
 // line. Writes happen under the engine's backpressure — a slow consumer
 // slows the join instead of growing a buffer — and a failed write (client
 // gone) aborts the underlying join. Errors before the first pair still get a
-// proper HTTP status; later ones can only be reported as a trailing NDJSON
-// error line.
-func streamJoin(svc *Service, w http.ResponseWriter, r *http.Request, req joinRequest, params JoinParams) {
+// proper HTTP status; later ones are reported in the trailer with
+// aborted:true, so clients can always distinguish truncation from
+// completion.
+func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, req joinRequest, params JoinParams) {
 	bw := bufio.NewWriterSize(w, 64<<10)
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
@@ -308,7 +394,7 @@ func streamJoin(svc *Service, w http.ResponseWriter, r *http.Request, req joinRe
 		}
 	}
 	n := 0
-	out, err := svc.JoinStream(r.Context(), req.A, req.B, params, func(p transformers.Pair) error {
+	out, err := svc.JoinStream(ctx, req.A, req.B, params, func(p transformers.Pair) error {
 		start()
 		if err := enc.Encode(pairDTO{A: p.A, B: p.B}); err != nil {
 			return err
@@ -330,19 +416,17 @@ func streamJoin(svc *Service, w http.ResponseWriter, r *http.Request, req joinRe
 			writeError(w, err)
 			return
 		}
-		// The status line is gone; the NDJSON tail carries the error. Re-arm
-		// first — the last deadline may predate a long pair-free stretch.
+		// The status line is gone; the NDJSON trailer carries the error.
+		// Re-arm first — the last deadline may predate a long pair-free
+		// stretch.
 		arm()
-		_ = enc.Encode(errorResponse{Error: err.Error()})
+		_ = enc.Encode(streamTrailer{Error: err.Error(), Aborted: true, Pairs: n})
 		_ = bw.Flush()
 		return
 	}
-	start() // a zero-pair join still answers with the NDJSON summary
+	start() // a zero-pair join still answers with the NDJSON trailer
 	arm()
-	_ = enc.Encode(struct {
-		Summary JoinSummary `json:"summary"`
-		Cached  bool        `json:"cached"`
-	}{out.Summary, out.Cached})
+	_ = enc.Encode(streamTrailer{Summary: &out.Summary, Cached: out.Cached, Pairs: n})
 	_ = bw.Flush()
 	if flusher != nil {
 		flusher.Flush()
@@ -363,7 +447,9 @@ func handleRange(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid query box (lo > hi)"})
 		return
 	}
-	elems, rs, err := svc.RangeQuery(r.Context(), req.Dataset, query)
+	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
+	defer cancel()
+	elems, rs, err := svc.RangeQuery(ctx, req.Dataset, query)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,654 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/naive"
+	"repro/internal/storage"
+	"repro/transformers"
+)
+
+// fastRetry keeps the retry loops of these tests in the low milliseconds.
+var fastRetry = RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Budget: time.Second}
+
+// faultEngineSeq makes fault-engine registrations unique: engine.Register
+// panics on duplicate names, and counted test runs (-count=2) re-execute in
+// one process.
+var faultEngineSeq atomic.Int64
+
+// registerFaultEngine registers sc's engine wrapper around the TRANSFORMERS
+// engine under a fresh name and returns it.
+func registerFaultEngine(sc *faultinject.Scenario) string {
+	name := fmt.Sprintf("fi-resilience-%d", faultEngineSeq.Add(1))
+	engine.Register(sc.Engine(name, engine.Transformers))
+	return name
+}
+
+// checkGoroutines fails the test if the goroutine count does not settle back
+// near its baseline — the leak gate behind every abort path here.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitPoolDrained asserts every pool slot was released: aborted requests
+// must not strand units or queue entries.
+func waitPoolDrained(t *testing.T, svc *Service) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := svc.Stats().Pool
+		if st.Active == 0 && st.Queued == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool slots not released: active=%d queued=%d", st.Active, st.Queued)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRetryTransientBuildSucceeds: an index build that fails transiently
+// twice succeeds on the third attempt — one registration, no error surfaced,
+// retries counted per catalog and per tenant.
+func TestRetryTransientBuildSucceeds(t *testing.T) {
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpBuildFail, Times: 2})
+	svc := NewService(Config{StoreFactory: sc.StoreFactory, Retry: fastRetry})
+
+	elems := transformers.GenerateUniform(500, 201)
+	want := naive.Join(elems, elems)
+	if _, err := svc.AddDataset(context.Background(), "a", elems); err != nil {
+		t.Fatalf("AddDataset with transient build failures: %v", err)
+	}
+	cat := svc.Stats().Catalog
+	if cat.Retries != 2 {
+		t.Fatalf("catalog retries = %d, want 2", cat.Retries)
+	}
+	if cat.Builds != 1 {
+		t.Fatalf("builds = %d, want 1 (retries are not extra builds)", cat.Builds)
+	}
+	if got := svc.Stats().Tenants[DefaultTenant].Retries; got != 2 {
+		t.Fatalf("tenant retries = %d, want 2", got)
+	}
+	// The recovered index serves correct results.
+	out, err := svc.Join(context.Background(), "a", "a", JoinParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(append([]transformers.Pair(nil), out.Pairs...), want) {
+		t.Fatalf("join after recovered build: %d pairs, want %d", len(out.Pairs), len(want))
+	}
+	if out.Summary.Stale {
+		t.Fatal("healthy build reported stale")
+	}
+	if svc.Health().Status != "ok" {
+		t.Fatalf("health = %+v, want ok", svc.Health())
+	}
+}
+
+// TestRetryBudgetExhausted: a build that keeps failing surfaces a BuildError
+// wrapping the cause after the configured attempts, not an infinite loop.
+func TestRetryBudgetExhausted(t *testing.T) {
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpBuildFail, Times: 0}) // forever
+	svc := NewService(Config{StoreFactory: sc.StoreFactory, Retry: fastRetry})
+	_, err := svc.AddDataset(context.Background(), "a", transformers.GenerateUniform(200, 202))
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BuildError", err)
+	}
+	if be.Attempts != fastRetry.Attempts {
+		t.Fatalf("attempts = %d, want %d", be.Attempts, fastRetry.Attempts)
+	}
+	if !storage.IsTransient(err) {
+		t.Fatal("build error lost its transient cause")
+	}
+	waitPoolDrained(t, svc)
+}
+
+// TestLastGoodServedWhileRebuildFails: replacing a dataset with a version
+// whose build fails keeps the previous version serving — joins and range
+// queries answer from last-good, marked stale, while /healthz degrades.
+func TestLastGoodServedWhileRebuildFails(t *testing.T) {
+	// Two clean factory calls build the initial datasets; every later build
+	// attempt fails.
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpBuildFail, After: 2, Times: 0})
+	svc := NewService(Config{StoreFactory: sc.StoreFactory, Retry: fastRetry})
+
+	a := transformers.GenerateUniform(400, 203)
+	bOld := transformers.GenerateDenseCluster(300, 204)
+	want := naive.Join(a, bOld)
+	addDataset(t, svc, "a", a)
+	addDataset(t, svc, "b", bOld)
+
+	// The replacement registers but reports its failing build.
+	_, err := svc.AddDataset(context.Background(), "b", transformers.GenerateUniform(100, 205))
+	if err == nil || !strings.Contains(err.Error(), "last-good") {
+		t.Fatalf("err = %v, want a failing-build registration error naming last-good", err)
+	}
+
+	// Joins serve the last-good version: the old pair set, marked stale.
+	out, err := svc.Join(context.Background(), "a", "b", JoinParams{})
+	if err != nil {
+		t.Fatalf("join against failing dataset: %v", err)
+	}
+	if !out.Summary.Stale {
+		t.Fatal("last-good serve not marked stale")
+	}
+	if !naive.Equal(append([]transformers.Pair(nil), out.Pairs...), want) {
+		t.Fatalf("stale join: %d pairs, want the last-good %d", len(out.Pairs), len(want))
+	}
+
+	// Range queries fall back the same way, without a pool trip.
+	elems, _, err := svc.RangeQuery(context.Background(), "b", transformers.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != len(bOld) {
+		t.Fatalf("range served %d elements, want the last-good %d", len(elems), len(bOld))
+	}
+
+	h := svc.Health()
+	if h.Status != "degraded" {
+		t.Fatalf("health = %+v, want degraded", h)
+	}
+	found := false
+	for _, r := range h.Reasons {
+		if strings.Contains(r, `"b"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded reasons %v do not name dataset b", h.Reasons)
+	}
+	st := svc.Stats()
+	if st.Catalog.LastGoodServes == 0 {
+		t.Fatal("catalog last_good_serves = 0")
+	}
+	if st.Tenants[DefaultTenant].LastGoodServes == 0 {
+		t.Fatal("tenant last_good_serves = 0")
+	}
+	waitPoolDrained(t, svc)
+}
+
+// TestDeadlineAbortsJoin: an expired request deadline aborts the join
+// cooperatively — typed error, slot released, no goroutine left behind, and
+// the abort attributed to the request's tenant.
+func TestDeadlineAbortsJoin(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := NewService(Config{Workers: 2})
+	// ~n²·0.027 pairs: the join runs far longer than the deadline on any
+	// hardware, so the abort always lands mid-join.
+	addDataset(t, svc, "a", bigOverlapDataset(4000, 211))
+	addDataset(t, svc, "b", bigOverlapDataset(4000, 212))
+
+	ctx := WithTenant(context.Background(), TenantInfo{ID: "deadliner"})
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	_, err := svc.Join(ctx, "a", "b", JoinParams{NoCache: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := svc.Stats().Tenants["deadliner"].DeadlineAborts; got != 1 {
+		t.Fatalf("tenant deadline_aborts = %d, want 1", got)
+	}
+	waitPoolDrained(t, svc)
+	checkGoroutines(t, before)
+
+	// The service still works at full speed afterwards.
+	out, err := svc.Join(context.Background(), "a", "b", JoinParams{NoCache: true})
+	if err != nil {
+		t.Fatalf("join after deadline abort: %v", err)
+	}
+	if out.Summary.Results == 0 {
+		t.Fatal("post-abort join returned nothing")
+	}
+}
+
+// TestHTTPDeadlineMapsTo504: a collected join whose timeout_ms expires
+// answers 504; the per-tenant abort counter surfaces in /stats.
+func TestHTTPDeadlineMapsTo504(t *testing.T) {
+	ts, svc := newTestServer(t, Config{Workers: 2})
+	addDataset(t, svc, "a", bigOverlapDataset(4000, 213))
+	addDataset(t, svc, "b", bigOverlapDataset(4000, 214))
+
+	req, err := http.NewRequest("POST", ts.URL+"/join",
+		strings.NewReader(`{"a":"a","b":"b","no_cache":true,"timeout_ms":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "slowpoke")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if got := svc.Stats().Tenants["slowpoke"].DeadlineAborts; got != 1 {
+		t.Fatalf("tenant deadline_aborts = %d, want 1", got)
+	}
+	waitPoolDrained(t, svc)
+}
+
+// TestHTTPStreamDeadlineTrailer: when the deadline expires mid-stream the
+// status line is long gone — the NDJSON trailer must still arrive, carrying
+// the error, aborted:true, and the count of pairs that preceded it.
+func TestHTTPStreamDeadlineTrailer(t *testing.T) {
+	// A scripted stall after 50 emitted pairs guarantees the stream has
+	// started before the deadline fires — no timing dependence.
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpStall, After: 50, Times: 1})
+	algo := registerFaultEngine(sc)
+	ts, svc := newTestServer(t, Config{Workers: 2})
+	addDataset(t, svc, "a", bigOverlapDataset(800, 215))
+	addDataset(t, svc, "b", bigOverlapDataset(800, 216))
+
+	body := fmt.Sprintf(`{"a":"a","b":"b","stream":true,"no_cache":true,"algorithm":%q,"timeout_ms":200}`, algo)
+	resp, err := http.Post(ts.URL+"/join", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (stream had started)", resp.StatusCode)
+	}
+	var last map[string]any
+	pairLines := 0
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		last = nil
+		if err := json.Unmarshal(line, &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if _, isPair := last["a"]; isPair {
+			pairLines++
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("stream produced no lines")
+	}
+	if last["aborted"] != true {
+		t.Fatalf("trailer = %v, want aborted:true", last)
+	}
+	if msg, _ := last["error"].(string); !strings.Contains(msg, "deadline") {
+		t.Fatalf("trailer error = %q, want the deadline error", msg)
+	}
+	if int(last["pairs"].(float64)) != pairLines {
+		t.Fatalf("trailer pairs = %v, but %d pair lines were sent", last["pairs"], pairLines)
+	}
+	waitPoolDrained(t, svc)
+}
+
+// TestHTTPStreamCompleteTrailer: a successful stream ends in a trailer with
+// aborted:false and the exact pair count — the truncation detector clients
+// key on.
+func TestHTTPStreamCompleteTrailer(t *testing.T) {
+	ts, svc := newTestServer(t, Config{})
+	elems := transformers.GenerateUniform(300, 217)
+	addDataset(t, svc, "a", elems)
+	want := naive.Join(elems, elems)
+
+	resp, err := http.Post(ts.URL+"/join", "application/json",
+		strings.NewReader(`{"a":"a","b":"a","stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last map[string]any
+	pairLines := 0
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		last = nil
+		if err := json.Unmarshal(scanner.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+		if _, isPair := last["a"]; isPair {
+			pairLines++
+		}
+	}
+	if last == nil || last["aborted"] != false {
+		t.Fatalf("trailer = %v, want aborted:false", last)
+	}
+	if pairLines != len(want) || int(last["pairs"].(float64)) != len(want) {
+		t.Fatalf("pairs = %d streamed / %v trailer, want %d", pairLines, last["pairs"], len(want))
+	}
+	if last["summary"] == nil {
+		t.Fatal("trailer missing summary")
+	}
+}
+
+// TestJoinReadErrorFailsCleanly: a store that starts failing reads after the
+// index is built fails the join with a clean transient error — and the next
+// join, past the fault's times cap, succeeds.
+func TestJoinReadErrorFailsCleanly(t *testing.T) {
+	// Builds only write; reads happen at join time. The first join trips the
+	// fault, the next one runs clean.
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpReadError, Times: 1})
+	svc := NewService(Config{StoreFactory: sc.StoreFactory, Retry: fastRetry})
+	elems := transformers.GenerateUniform(600, 221)
+	want := naive.Join(elems, elems)
+	addDataset(t, svc, "a", elems)
+
+	_, err := svc.Join(context.Background(), "a", "a", JoinParams{NoCache: true})
+	if err == nil {
+		t.Fatal("join over a failing store succeeded")
+	}
+	if !storage.IsTransient(err) {
+		t.Fatalf("err = %v, want a transient storage error", err)
+	}
+	waitPoolDrained(t, svc)
+
+	out, err := svc.Join(context.Background(), "a", "a", JoinParams{NoCache: true})
+	if err != nil {
+		t.Fatalf("join after fault exhaustion: %v", err)
+	}
+	if !naive.Equal(append([]transformers.Pair(nil), out.Pairs...), want) {
+		t.Fatalf("recovered join: %d pairs, want %d", len(out.Pairs), len(want))
+	}
+}
+
+// TestSlowReadJoinStaysCorrect: injected read latency slows the join but
+// changes nothing about its result.
+func TestSlowReadJoinStaysCorrect(t *testing.T) {
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpSlowRead, Every: 16, Times: 0, Delay: time.Millisecond})
+	svc := NewService(Config{StoreFactory: sc.StoreFactory})
+	elems := transformers.GenerateUniform(600, 222)
+	want := naive.Join(elems, elems)
+	addDataset(t, svc, "a", elems)
+
+	out, err := svc.Join(context.Background(), "a", "a", JoinParams{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(append([]transformers.Pair(nil), out.Pairs...), want) {
+		t.Fatalf("slow-read join: %d pairs, want %d", len(out.Pairs), len(want))
+	}
+}
+
+// TestEmitErrorReleasesSlot: a failure in the middle of pair emission
+// surfaces as the join error and releases everything it held.
+func TestEmitErrorReleasesSlot(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpEmitError, After: 20, Times: 1})
+	algo := registerFaultEngine(sc)
+	svc := NewService(Config{Workers: 2})
+	elems := transformers.GenerateUniform(500, 223)
+	addDataset(t, svc, "a", elems)
+
+	_, err := svc.Join(context.Background(), "a", "a", JoinParams{NoCache: true, Algorithm: algo})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	waitPoolDrained(t, svc)
+	checkGoroutines(t, before)
+}
+
+// TestStallAbortedByDeadline: a stalled worker pins its emit path until the
+// deadline cancels the request — then every slot and goroutine unwinds.
+func TestStallAbortedByDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := faultinject.New(faultinject.Fault{Op: faultinject.OpStall, After: 20, Times: 1})
+	algo := registerFaultEngine(sc)
+	svc := NewService(Config{Workers: 2})
+	elems := transformers.GenerateUniform(500, 224)
+	addDataset(t, svc, "a", elems)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := svc.Join(ctx, "a", "a", JoinParams{NoCache: true, Algorithm: algo})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stalled join took %v to abort", d)
+	}
+	waitPoolDrained(t, svc)
+	checkGoroutines(t, before)
+}
+
+// TestHealthzDegradedAfterShed: shed events flip /healthz to degraded (still
+// HTTP 200 — degradation is a serving mode, not an outage) and age out.
+func TestHealthzDegradedAfterShed(t *testing.T) {
+	ts, svc := newTestServer(t, Config{Workers: 1, TenantQueue: 1, MaxQueue: -1, ShedWindow: time.Minute})
+	if svc.Health().Status != "ok" {
+		t.Fatalf("health before traffic = %+v", svc.Health())
+	}
+
+	// Saturate the one slot, queue one request, and overflow the tenant
+	// queue with a second — driving the pool directly keeps this exact.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 2)
+	go func() {
+		done <- svc.pool.Do(context.Background(), Request{Tenant: "noisy"}, func() error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	go func() {
+		done <- svc.pool.Do(context.Background(), Request{Tenant: "noisy"}, func() error { return nil })
+	}()
+	for svc.pool.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := svc.pool.Do(context.Background(), Request{Tenant: "noisy"}, func() error { return nil }); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow err = %v, want ErrShed", err)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200 even when degraded", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || len(h.Reasons) == 0 || !strings.Contains(h.Reasons[0], "noisy") {
+		t.Fatalf("healthz = %+v, want degraded naming the shedding tenant", h)
+	}
+}
+
+// TestHTTPTenantStats: the per-tenant counters surface in /stats keyed by the
+// X-Tenant header.
+func TestHTTPTenantStats(t *testing.T) {
+	ts, svc := newTestServer(t, Config{})
+	_ = svc
+	req, err := http.NewRequest("POST", ts.URL+"/datasets",
+		strings.NewReader(`{"name":"a","generate":{"kind":"uniform","n":300,"seed":231}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("dataset registration = %d", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var doc struct {
+		Tenants map[string]TenantStats `json:"tenants"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	al, ok := doc.Tenants["alice"]
+	if !ok {
+		t.Fatalf("stats tenants = %v, want alice", doc.Tenants)
+	}
+	if al.Admitted == 0 {
+		t.Fatalf("alice admitted = %+v, want > 0", al)
+	}
+}
+
+// chaosSeed resolves the chaos-matrix seed: CHAOS_SEED pins it, otherwise it
+// is time-randomized. The chosen seed is logged and, when CHAOS_SEED_DIR is
+// set, persisted for CI to upload on failure (the proptest seed idiom).
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	if dir := os.Getenv("CHAOS_SEED_DIR"); dir != "" {
+		f, err := os.OpenFile(filepath.Join(dir, "chaos-seed.txt"),
+			os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("could not persist seed: %v", err)
+		} else {
+			fmt.Fprintf(f, "%s: CHAOS_SEED=%d\n", t.Name(), seed)
+			f.Close()
+		}
+	}
+	t.Logf("chaos seed %d (reproduce with CHAOS_SEED=%d)", seed, seed)
+	return seed
+}
+
+// TestChaosScenarios runs randomized fault scenarios through a full service
+// and holds the resilience invariant: every join ends in correct results or
+// a clean error within its deadline — never a hang, a leaked goroutine, a
+// stranded slot, or a wrong pair set.
+func TestChaosScenarios(t *testing.T) {
+	seed := chaosSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	before := runtime.NumGoroutine()
+
+	elems := transformers.GenerateUniform(500, 241)
+	for i := range elems {
+		elems[i].Box = elems[i].Box.Expand(20)
+	}
+	want := naive.Join(elems, elems)
+
+	ops := []string{
+		faultinject.OpReadError, faultinject.OpWriteError, faultinject.OpSlowRead,
+		faultinject.OpBuildFail, faultinject.OpEmitError, faultinject.OpStall,
+	}
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		// 1-3 distinct fault ops per round, parameters drawn from the seed.
+		perm := rng.Perm(len(ops))
+		k := 1 + rng.Intn(3)
+		chosen := make([]string, k)
+		for i := 0; i < k; i++ {
+			chosen[i] = ops[perm[i]]
+		}
+		spec := strings.Join(chosen, ",")
+		scSeed := rng.Int63()
+		sc, err := faultinject.Parse(spec, scSeed)
+		if err != nil {
+			t.Fatalf("round %d: Parse(%q): %v", round, spec, err)
+		}
+		t.Logf("round %d: scenario %v (spec %q, seed %d)", round, sc, spec, scSeed)
+
+		svc := NewService(Config{Workers: 2, StoreFactory: sc.StoreFactory, Retry: fastRetry})
+		algo := registerFaultEngine(sc)
+
+		// Registration may fail cleanly under write/build faults; the
+		// invariant is a typed error, not success.
+		if _, err := svc.AddDataset(context.Background(), "d", append([]transformers.Element(nil), elems...)); err != nil {
+			if !storage.IsTransient(err) && !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("round %d: registration failed non-transiently: %v", round, err)
+			}
+			t.Logf("round %d: registration failed cleanly: %v", round, err)
+			waitPoolDrained(t, svc)
+			continue
+		}
+
+		// One catalog-path join (storage faults active) and one through the
+		// fault engine (emit faults active), both deadline-bounded so a
+		// scripted stall cannot outlive its request.
+		runs := []struct {
+			label   string
+			params  JoinParams
+			timeout time.Duration
+		}{
+			{"catalog", JoinParams{NoCache: true}, 5 * time.Second},
+			{"fault-engine", JoinParams{NoCache: true, Algorithm: algo}, 500 * time.Millisecond},
+		}
+		for _, r := range runs {
+			ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+			out, err := svc.Join(ctx, "d", "d", r.params)
+			cancel()
+			if err != nil {
+				// A clean abort: transient fault, injected emit error, or
+				// the deadline clearing a stall.
+				if !storage.IsTransient(err) && !errors.Is(err, faultinject.ErrInjected) &&
+					!errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("round %d %s: unclean error: %v", round, r.label, err)
+				}
+				t.Logf("round %d %s: clean error: %v", round, r.label, err)
+				continue
+			}
+			if !naive.Equal(append([]transformers.Pair(nil), out.Pairs...), want) {
+				t.Fatalf("round %d %s: wrong pair set: %d pairs, want %d",
+					round, r.label, len(out.Pairs), len(want))
+			}
+		}
+		waitPoolDrained(t, svc)
+	}
+	checkGoroutines(t, before)
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the retry loop around transient failures (catalog index
+// builds in particular). Zero fields take the defaults of DefaultRetryPolicy.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, first included (default 4; 1
+	// disables retrying).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay, and the actual sleep is a uniform
+	// jitter in [delay/2, delay] so synchronized failures decorrelate.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep.
+	MaxDelay time.Duration
+	// Budget caps the total time spent sleeping between retries; when the
+	// next backoff would exceed it, the loop stops and the last error is
+	// returned.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy is the serving default: four attempts, 5ms initial
+// backoff doubling to at most 250ms, at most one second of waiting total.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Budget: time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Attempts <= 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Budget <= 0 {
+		p.Budget = d.Budget
+	}
+	return p
+}
+
+// retryJitter is the shared jitter source for backoff sleeps. Backoff timing
+// never affects results, so a global source (with its own lock) is fine.
+var (
+	retryJitterMu sync.Mutex
+	retryJitter   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	retryJitterMu.Lock()
+	j := time.Duration(retryJitter.Int63n(int64(d)/2 + 1))
+	retryJitterMu.Unlock()
+	return d - j
+}
+
+// retryTransient runs fn up to p.Attempts times, sleeping a jittered
+// exponential backoff between tries, until fn succeeds, fails permanently
+// (retryable(err) == false), the retry budget is exhausted, or ctx is done.
+// It returns fn's last error and the number of retries performed (attempts
+// beyond the first).
+func retryTransient(ctx context.Context, p RetryPolicy, retryable func(error) bool, fn func() error) (err error, retries int) {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var slept time.Duration
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !retryable(err) || attempt+1 >= p.Attempts {
+			return err, attempt
+		}
+		sleep := jitter(delay)
+		if slept+sleep > p.Budget {
+			return err, attempt
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return err, attempt
+		}
+		slept += sleep
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -55,6 +55,29 @@ type Config struct {
 	// name one: any engine.Names() entry or AlgorithmAuto ("auto", the
 	// planner picks per request). engine.Transformers when empty.
 	DefaultAlgorithm string
+	// TenantSlots caps one tenant's concurrently executing slot units
+	// while other tenants wait (0 = no per-tenant cap); TenantQueue caps
+	// one tenant's waiting requests (0 = no per-tenant cap). See
+	// PoolConfig.
+	TenantSlots int
+	TenantQueue int
+	// CostUnitMS converts planner-predicted join cost into admission slot
+	// units: a join predicted to take N ms occupies 1 + N/CostUnitMS units
+	// (DefaultCostUnitMS when zero), so one predicted-quadratic join
+	// cannot monopolize the pool at unit price.
+	CostUnitMS float64
+	// DefaultTimeout bounds every request without its own timeout_ms
+	// (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// ShedWindow is how long after a shed event /healthz keeps reporting
+	// the tenant's queue degraded (DefaultShedWindow when zero).
+	ShedWindow time.Duration
+	// Retry bounds the catalog build retry loop (defaults when zero).
+	Retry RetryPolicy
+	// StoreFactory overrides the page store behind catalog index builds
+	// (in-memory when nil); the -faults flag installs fault-injecting
+	// stores here.
+	StoreFactory func(pageSize int) storage.Store
 }
 
 // Resource-bound defaults.
@@ -67,6 +90,11 @@ const (
 	// DefaultMaxBodyBytes caps one request body (256MB ≈ 2.5M uploaded
 	// elements in JSON).
 	DefaultMaxBodyBytes = 256 << 20
+	// DefaultCostUnitMS is the predicted-cost currency of one admission
+	// slot unit: joins predicted under this run at unit price.
+	DefaultCostUnitMS = 500.0
+	// DefaultShedWindow is how long a shed event keeps /healthz degraded.
+	DefaultShedWindow = 10 * time.Second
 )
 
 // Service is the spatial query service: dataset catalog, join cache, and the
@@ -97,6 +125,18 @@ type Service struct {
 	// engineJoins counts executed (non-cached) joins per engine name.
 	engineMu    sync.Mutex
 	engineJoins map[string]uint64
+
+	// tenantMu guards the per-tenant resilience counters (the pool keeps
+	// its own admission counters; these are the service-level ones).
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantCounters
+}
+
+// tenantCounters tallies one tenant's resilience events at the service layer.
+type tenantCounters struct {
+	deadlineAborts uint64
+	retries        uint64
+	lastGoodServes uint64
 }
 
 // NewService assembles a service from the config.
@@ -116,14 +156,68 @@ func NewService(cfg Config) *Service {
 	if cfg.DefaultAlgorithm == "" {
 		cfg.DefaultAlgorithm = engine.Transformers
 	}
+	if cfg.CostUnitMS <= 0 {
+		cfg.CostUnitMS = DefaultCostUnitMS
+	}
+	if cfg.ShedWindow <= 0 {
+		cfg.ShedWindow = DefaultShedWindow
+	}
+	cat := NewCatalog(cfg.MaxIndexes, cfg.PageSize)
+	cat.SetRetryPolicy(cfg.Retry)
+	if cfg.StoreFactory != nil {
+		cat.SetStoreFactory(cfg.StoreFactory)
+	}
 	return &Service{
-		cfg:         cfg,
-		cat:         NewCatalog(cfg.MaxIndexes, cfg.PageSize),
-		cache:       NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
-		pool:        NewPool(cfg.Workers, cfg.MaxQueue),
+		cfg:   cfg,
+		cat:   cat,
+		cache: NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
+		pool: NewPool(PoolConfig{
+			Capacity:    cfg.Workers,
+			MaxQueue:    cfg.MaxQueue,
+			TenantSlots: cfg.TenantSlots,
+			TenantQueue: cfg.TenantQueue,
+		}),
 		start:       time.Now(),
 		engineJoins: make(map[string]uint64),
+		tenants:     make(map[string]*tenantCounters),
 	}
+}
+
+// tenantCounter returns (creating if needed) the counters of ctx's tenant.
+func (s *Service) tenantCounter(ctx context.Context) *tenantCounters {
+	id := TenantFrom(ctx).ID
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	tc := s.tenants[id]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[id] = tc
+	}
+	return tc
+}
+
+// noteOutcome attributes a request outcome to its tenant: deadline aborts,
+// build retries, and stale last-good serves.
+func (s *Service) noteOutcome(ctx context.Context, err error, retries int, stale bool) {
+	if err == nil && retries == 0 && !stale {
+		return
+	}
+	tc := s.tenantCounter(ctx)
+	s.tenantMu.Lock()
+	if errors.Is(err, context.DeadlineExceeded) {
+		tc.deadlineAborts++
+	}
+	tc.retries += uint64(retries)
+	if stale {
+		tc.lastGoodServes++
+	}
+	s.tenantMu.Unlock()
+}
+
+// admission builds the pool request for ctx's tenant at the given slot cost.
+func admission(ctx context.Context, cost int) Request {
+	ti := TenantFrom(ctx)
+	return Request{Tenant: ti.ID, Priority: ti.Priority, Cost: cost}
 }
 
 // Catalog exposes the dataset catalog (tests and the example client).
@@ -156,14 +250,25 @@ func (s *Service) AddDataset(ctx context.Context, name string, elems []transform
 	var version uint64
 	// Put happens inside admission: a registration rejected with ErrBusy (or
 	// abandoned by the client) must not have replaced the dataset.
-	if err := s.pool.Do(ctx, func() error {
+	if err := s.pool.Do(ctx, admission(ctx, 1), func() error {
 		version = s.cat.Put(name, elems)
 		var aerr error
-		h, aerr = s.cat.Acquire(name, 0)
+		h, aerr = s.cat.Acquire(ctx, name, 0)
+		if aerr == nil && h.Stale {
+			// The new version's eager build failed and the catalog fell
+			// back to the previous one. The dataset is registered (joins
+			// will serve last-good) but the registration must report the
+			// failure, not describe the stale index.
+			h.Release()
+			h = nil
+			return fmt.Errorf("server: dataset %q version %d registered, but its index build is failing; queries serve the last-good version", name, version)
+		}
 		return aerr
 	}); err != nil {
+		s.noteOutcome(ctx, err, 0, false)
 		return BuildInfo{}, err
 	}
+	s.noteOutcome(ctx, nil, h.Retries, false)
 	defer h.Release()
 	br := h.Index.BuildReport()
 	info := BuildInfo{
@@ -291,6 +396,9 @@ type joinPlan struct {
 	keyTiles  int
 	execTiles int
 	va, vb    uint64
+	// cost is the admission price in pool slot units, derived from the
+	// planner's predicted cost of the resolved engine.
+	cost int
 }
 
 // planJoin validates the request and resolves algorithm, fan-out and dataset
@@ -355,7 +463,52 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 	if jp.vb, err = s.cat.Version(b); err != nil {
 		return joinPlan{}, err
 	}
+	s.priceJoin(a, b, &jp)
 	return jp, nil
+}
+
+// priceJoin converts the planner's predicted cost of the resolved engine
+// into the request's admission price in slot units: 1 + CostMS/CostUnitMS,
+// so a predicted-quadratic join occupies many slots (the pool clamps to its
+// capacity — such a join runs alone) while typical joins stay at unit price.
+// Auto requests reuse the plan already computed; explicit requests price from
+// the same cached statistics, and price at 1 when statistics are missing.
+func (s *Service) priceJoin(a, b string, jp *joinPlan) {
+	jp.cost = 1
+	scores := []planner.Score(nil)
+	if jp.plan != nil {
+		scores = jp.plan.Scores
+	} else {
+		sa, _, err := s.cat.DatasetStats(a)
+		if err != nil {
+			return
+		}
+		sb, _, err := s.cat.DatasetStats(b)
+		if err != nil {
+			return
+		}
+		workers := jp.parallelism
+		if workers < 0 {
+			workers = 0
+		}
+		scores = planner.Plan(sa, sb, planner.Config{
+			PageSize:             s.cfg.PageSize,
+			PrebuiltTransformers: true,
+			ShardTiles:           jp.keyTiles,
+			ShardWorkers:         workers,
+		}).Scores
+	}
+	for _, sc := range scores {
+		if sc.Engine != jp.algo {
+			continue
+		}
+		if math.IsInf(sc.CostMS, 1) || math.IsNaN(sc.CostMS) {
+			jp.cost = 1 << 20 // planner refused to price it: full pool
+		} else if c := 1 + int(sc.CostMS/s.cfg.CostUnitMS); c > jp.cost {
+			jp.cost = c
+		}
+		return
+	}
 }
 
 // execFunc runs the resolved engine on prepared inputs — engine.Run for the
@@ -369,24 +522,27 @@ type execFunc func(ctx context.Context, algo string, ea, eb []transformers.Eleme
 // of both sides, §VIII) and the per-request builds of non-catalog engines.
 // Waiting on another request's in-flight build consumes this slot but never
 // needs a second one, so slots cannot deadlock.
-func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, error) {
+func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, bool, error) {
 	var res *engine.Result
 	var key JoinKey
+	var stale bool
 	var err error
 	if jp.algo == engine.Transformers {
 		// Catalog path: reuse the prebuilt (and, for distance joins,
 		// pre-expanded) indexes through the registry's prebuilt option.
-		err = s.pool.Do(ctx, func() error {
-			ha, err := s.cat.Acquire(a, p.Distance)
+		err = s.pool.Do(ctx, admission(ctx, jp.cost), func() error {
+			ha, err := s.cat.Acquire(ctx, a, p.Distance)
 			if err != nil {
 				return err
 			}
 			defer ha.Release()
-			hb, err := s.cat.Acquire(b, p.Distance)
+			hb, err := s.cat.Acquire(ctx, b, p.Distance)
 			if err != nil {
 				return err
 			}
 			defer hb.Release()
+			stale = ha.Stale || hb.Stale
+			s.noteOutcome(ctx, nil, ha.Retries+hb.Retries, stale)
 			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, jp.algo, jp.keyTiles)
 			res, err = exec(ctx, jp.algo, nil, nil, engine.Options{
 				Parallelism: jp.parallelism,
@@ -399,7 +555,7 @@ func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp
 	} else {
 		// Registry path: the engine indexes private element copies per
 		// request (distance expansion included), inside the same slot.
-		err = s.pool.Do(ctx, func() error {
+		err = s.pool.Do(ctx, admission(ctx, jp.cost), func() error {
 			ea, verA, err := s.cat.Elements(a)
 			if err != nil {
 				return err
@@ -418,7 +574,10 @@ func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp
 			return err
 		})
 	}
-	return res, key, err
+	if err != nil {
+		s.noteOutcome(ctx, err, 0, false)
+	}
+	return res, key, stale, err
 }
 
 // summarize flattens one executed result into the cacheable cost summary and
@@ -455,7 +614,7 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
 		}
 	}
-	res, key, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	res, key, stale, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.Run(ctx, algo, ea, eb, opt)
 	})
 	if err != nil {
@@ -463,10 +622,12 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	}
 	summary := s.summarize(jp.algo, res)
 	if !p.NoCache {
-		// Cache without the planner report: hits splice in their own.
+		// Cache without the planner report or staleness: the key carries the
+		// served versions, and hits splice in their own request context.
 		s.cache.Put(key, &CachedJoin{Pairs: res.Pairs, Summary: summary})
 	}
 	summary.Planner = jp.plan
+	summary.Stale = stale
 	return &JoinOutcome{Pairs: res.Pairs, Summary: summary}, nil
 }
 
@@ -509,7 +670,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 	var buf []transformers.Pair
 	var streamed uint64
 	emitFailed := false
-	res, key, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	res, key, stale, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.RunStream(ctx, algo, ea, eb, opt, func(pr transformers.Pair) error {
 			if caching {
 				if len(buf) < maxCache {
@@ -543,6 +704,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 		s.cache.Put(key, &CachedJoin{Pairs: buf, Summary: summary})
 	}
 	summary.Planner = jp.plan
+	summary.Stale = stale
 	return &JoinOutcome{Summary: summary}, nil
 }
 
@@ -558,14 +720,16 @@ func (s *Service) RangeQuery(ctx context.Context, dataset string, query transfor
 		return nil, transformers.RangeStats{}, err
 	}
 	if !ok {
-		if err := s.pool.Do(ctx, func() error {
+		if err := s.pool.Do(ctx, admission(ctx, 1), func() error {
 			var aerr error
-			h, aerr = s.cat.Acquire(dataset, 0)
+			h, aerr = s.cat.Acquire(ctx, dataset, 0)
 			return aerr
 		}); err != nil {
+			s.noteOutcome(ctx, err, 0, false)
 			return nil, transformers.RangeStats{}, err
 		}
 	}
+	s.noteOutcome(ctx, nil, h.Retries, h.Stale)
 	defer h.Release()
 	return h.Index.RangeQuery(query)
 }
@@ -595,6 +759,19 @@ type Stats struct {
 	Pool             PoolStats     `json:"pool"`
 	Datasets         []DatasetInfo `json:"datasets"`
 	PageSize         int           `json:"page_size"`
+	// Tenants merges pool admission counters with the service's
+	// resilience counters, per tenant.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's /stats document.
+type TenantStats struct {
+	Admitted       uint64 `json:"admitted"`
+	Queued         int    `json:"queued"`
+	Shed           uint64 `json:"shed"`
+	DeadlineAborts uint64 `json:"deadline_aborts"`
+	Retries        uint64 `json:"retries"`
+	LastGoodServes uint64 `json:"last_good_serves"`
 }
 
 // ShardAggregate is the /stats roll-up of sharded executions.
@@ -621,6 +798,24 @@ func (s *Service) Stats() Stats {
 		engineJoins[k] = v
 	}
 	s.engineMu.Unlock()
+
+	pool := s.pool.Stats()
+	tenants := make(map[string]TenantStats, len(pool.Tenants))
+	for name, tp := range pool.Tenants {
+		tenants[name] = TenantStats{Admitted: tp.Admitted, Queued: tp.Queued, Shed: tp.Shed}
+	}
+	s.tenantMu.Lock()
+	for name, tc := range s.tenants {
+		ts := tenants[name]
+		ts.DeadlineAborts = tc.deadlineAborts
+		ts.Retries = tc.retries
+		ts.LastGoodServes = tc.lastGoodServes
+		tenants[name] = ts
+	}
+	s.tenantMu.Unlock()
+	if len(tenants) == 0 {
+		tenants = nil
+	}
 	return Stats{
 		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
 		Joins:          s.joins.Load(),
@@ -639,8 +834,29 @@ func (s *Service) Stats() Stats {
 		DefaultAlgorithm: s.cfg.DefaultAlgorithm,
 		Catalog:          s.cat.Stats(),
 		Cache:            s.cache.Stats(),
-		Pool:             s.pool.Stats(),
+		Pool:             pool,
 		Datasets:         s.cat.Datasets(),
 		PageSize:         pageSize,
+		Tenants:          tenants,
 	}
 }
+
+// Health is the /healthz document: ok, or degraded with the reasons — a
+// tenant queue actively shedding, or a dataset serving a stale last-good
+// version while its build fails.
+type Health struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports serving health for /healthz.
+func (s *Service) Health() Health {
+	reasons := append(s.pool.Shedding(s.cfg.ShedWindow), s.cat.Degraded()...)
+	if len(reasons) == 0 {
+		return Health{Status: "ok"}
+	}
+	return Health{Status: "degraded", Reasons: reasons}
+}
+
+// DefaultTimeout returns the server-default request deadline (0 = none).
+func (s *Service) DefaultTimeout() time.Duration { return s.cfg.DefaultTimeout }

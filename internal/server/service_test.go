@@ -13,7 +13,7 @@ import (
 )
 
 func TestPoolBoundsConcurrency(t *testing.T) {
-	p := NewPool(2, -1)
+	p := NewPool(PoolConfig{Capacity: 2, MaxQueue: -1})
 	var mu sync.Mutex
 	active, peak := 0, 0
 	var wg sync.WaitGroup
@@ -21,7 +21,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := p.Do(context.Background(), func() error {
+			err := p.Do(context.Background(), Request{}, func() error {
 				mu.Lock()
 				active++
 				if active > peak {
@@ -49,16 +49,16 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 }
 
 func TestPoolRejectsWhenSaturated(t *testing.T) {
-	p := NewPool(1, 0) // one slot, no queue
+	p := NewPool(PoolConfig{Capacity: 1, MaxQueue: 0}) // one slot, no queue
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go p.Do(context.Background(), func() error {
+	go p.Do(context.Background(), Request{}, func() error {
 		close(started)
 		<-release
 		return nil
 	})
 	<-started
-	err := p.Do(context.Background(), func() error { return nil })
+	err := p.Do(context.Background(), Request{}, func() error { return nil })
 	if !errors.Is(err, ErrBusy) {
 		t.Fatalf("err = %v, want ErrBusy", err)
 	}
@@ -69,10 +69,10 @@ func TestPoolRejectsWhenSaturated(t *testing.T) {
 }
 
 func TestPoolHonorsContext(t *testing.T) {
-	p := NewPool(1, -1)
+	p := NewPool(PoolConfig{Capacity: 1, MaxQueue: -1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go p.Do(context.Background(), func() error {
+	go p.Do(context.Background(), Request{}, func() error {
 		close(started)
 		<-release
 		return nil
@@ -80,7 +80,7 @@ func TestPoolHonorsContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if err := p.Do(ctx, func() error { return nil }); !errors.Is(err, context.DeadlineExceeded) {
+	if err := p.Do(ctx, Request{}, func() error { return nil }); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	close(release)
@@ -223,7 +223,7 @@ func TestServiceRejectsNonFiniteDistance(t *testing.T) {
 			t.Fatalf("distance %v accepted", d)
 		}
 	}
-	if _, err := svc.Catalog().Acquire("a", math.NaN()); err == nil {
+	if _, err := svc.Catalog().Acquire(context.Background(), "a", math.NaN()); err == nil {
 		t.Fatal("catalog accepted NaN expansion")
 	}
 }

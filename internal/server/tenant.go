@@ -1,0 +1,30 @@
+package server
+
+import "context"
+
+// TenantInfo identifies the tenant a request bills to and the admission lane
+// it rides in. The HTTP layer fills it from the X-Tenant and X-Priority
+// headers; programmatic callers may attach one with WithTenant.
+type TenantInfo struct {
+	ID       string
+	Priority Priority
+}
+
+type tenantCtxKey struct{}
+
+// WithTenant attaches tenant identity to a request context.
+func WithTenant(ctx context.Context, t TenantInfo) context.Context {
+	if t.ID == "" {
+		t.ID = DefaultTenant
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, t)
+}
+
+// TenantFrom returns the tenant identity attached to ctx, or the default
+// tenant on the interactive lane when none is attached.
+func TenantFrom(ctx context.Context) TenantInfo {
+	if t, ok := ctx.Value(tenantCtxKey{}).(TenantInfo); ok {
+		return t
+	}
+	return TenantInfo{ID: DefaultTenant, Priority: Interactive}
+}
