@@ -23,6 +23,19 @@
 //	GET  /healthz        liveness; "degraded" with reasons while a tenant
 //	                     queue sheds or a dataset serves a stale last-good
 //	GET  /stats          catalog / cache / pool / per-tenant counters
+//	GET  /metrics        Prometheus-style text exposition: latency histograms,
+//	                     queue/utilization gauges, per-tenant shed counters,
+//	                     cache hit ratios, runtime gauges
+//	GET  /debug/joins    ring of slow joins (-slow-join-ms; negative = all)
+//	                     with their full request span trees
+//	GET  /debug/planner  planner prediction-vs-reality report and recent
+//	                     samples (-planner-log mirrors them as NDJSON)
+//
+// Joins are traced end to end (admission wait, planning, catalog access,
+// per-tile execution, stream emission); send X-Trace: 1 or "trace": true to
+// get the span tree back in the response or NDJSON trailer. Every response
+// carries X-Request-ID (honored from the request when present). -debug-addr
+// serves net/http/pprof on a separate listener, kept off the serving port.
 //
 // Every request may carry an X-Tenant header (admission control bills the
 // request to that tenant's fair share; X-Priority: batch selects the batch
@@ -41,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -72,6 +86,11 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 0, "default per-request deadline when a request sets no timeout_ms (0 = none)")
 	faults := flag.String("faults", "", "DEV ONLY: fault-injection scenario for soak testing, e.g. 'read-error,slow-read:delay=2ms' (see internal/faultinject)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for randomized parameters of -faults clauses")
+	slowJoinMS := flag.Int64("slow-join-ms", server.DefaultSlowJoinThreshold.Milliseconds(), "joins slower than this land in /debug/joins with their span tree (negative = record every join)")
+	debugJoins := flag.Int("debug-joins", 0, "slow-join ring capacity (0 = default)")
+	plannerSamples := flag.Int("planner-samples", 0, "planner accuracy ring capacity (0 = default)")
+	plannerLog := flag.String("planner-log", "", "append every planner accuracy sample to this file as NDJSON")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 	flag.Parse()
 
 	if *defaultAlgo != "" && *defaultAlgo != server.AlgorithmAuto {
@@ -94,6 +113,21 @@ func main() {
 		TenantSlots:         *tenantSlots,
 		TenantQueue:         *tenantQueue,
 		DefaultTimeout:      *defaultTimeout,
+		DebugJoins:          *debugJoins,
+		PlannerSamples:      *plannerSamples,
+	}
+	if *slowJoinMS < 0 {
+		cfg.SlowJoinThreshold = -1 // record every join in /debug/joins
+	} else {
+		cfg.SlowJoinThreshold = time.Duration(*slowJoinMS) * time.Millisecond
+	}
+	if *plannerLog != "" {
+		f, err := os.OpenFile(*plannerLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("-planner-log: %v", err)
+		}
+		defer f.Close()
+		cfg.PlannerLog = f
 	}
 	if *faults != "" {
 		sc, err := faultinject.Parse(*faults, *faultSeed)
@@ -113,6 +147,26 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// reachable through the serving port. A fresh mux (not the default
+		// one) keeps the surface to exactly the pprof handlers.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof debug listener on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dsrv.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

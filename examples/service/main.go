@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -118,6 +119,18 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("streamed join: %d pair lines + summary %s\n", lines-1, last)
 
+	// 5b. Traced join: "trace": true (or an X-Trace: 1 header) echoes the
+	// request's span tree — admission wait, planning, catalog access,
+	// execution — alongside the summary. X-Request-ID is honored end to end.
+	doc = post(base, "/join", `{"a":"axons","b":"dendrites","no_cache":true,"trace":true}`)
+	fmt.Printf("traced join (request %v): span tree\n", doc["request_id"])
+	if tr, ok := doc["trace"].(map[string]any); ok {
+		fmt.Printf("  wall %.2fms\n", tr["wall_ms"])
+		if spans, ok := tr["spans"].([]any); ok {
+			printSpans(spans, 1)
+		}
+	}
+
 	// 6. Range query against the built axons index.
 	doc = post(base, "/query/range",
 		`{"dataset":"axons","box":{"lo":[400,400,700],"hi":[600,600,900]}}`)
@@ -141,4 +154,64 @@ func main() {
 	_ = json.Unmarshal(raw, &st)
 	fmt.Printf("stats: joins=%v range_queries=%v cache=%v catalog=%v\n",
 		st["joins"], st["range_queries"], st["cache"], st["catalog"])
+
+	// 8. Observability surface: the Prometheus exposition and the planner's
+	// prediction-vs-reality report.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	families := 0
+	for _, line := range strings.Split(string(mraw), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	fmt.Printf("metrics: %d families, %d bytes of exposition\n", families, len(mraw))
+	presp, err := http.Get(base + "/debug/planner")
+	if err != nil {
+		log.Fatal(err)
+	}
+	praw, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	var pl map[string]any
+	_ = json.Unmarshal(praw, &pl)
+	if rep, ok := pl["report"].(map[string]any); ok {
+		fmt.Printf("planner accuracy: %v samples recorded\n", rep["total"])
+		if engines, ok := rep["engines"].([]any); ok {
+			for _, e := range engines {
+				em := e.(map[string]any)
+				fmt.Printf("  %-18v samples=%v mean_rel_error=%.2f\n",
+					em["engine"], em["samples"], em["mean_rel_error"])
+			}
+		}
+	}
+}
+
+// printSpans renders a decoded span tree with durations and counters, one
+// indented line per span.
+func printSpans(spans []any, depth int) {
+	for _, s := range spans {
+		sm, ok := s.(map[string]any)
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("%s%v %.2fms", strings.Repeat("  ", depth), sm["name"], sm["dur_ms"])
+		if counters, ok := sm["counters"].(map[string]any); ok && len(counters) > 0 {
+			keys := make([]string, 0, len(counters))
+			for k := range counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%v", k, counters[k])
+			}
+		}
+		fmt.Println(line)
+		if children, ok := sm["children"].([]any); ok {
+			printSpans(children, depth+1)
+		}
+	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -308,7 +309,26 @@ func Run(ctx context.Context, name string, a, b []geom.Element, opt Options) (*R
 	if res, done, err := emptyInputResult(name, a, b, opt); done {
 		return res, err
 	}
-	return j.Join(ctx, a, b, opt)
+	ctx, span := obs.Start(ctx, "engine:"+name)
+	res, err := j.Join(ctx, a, b, opt)
+	span.End()
+	annotateEngineSpan(span, res)
+	return res, err
+}
+
+// annotateEngineSpan attaches the uniform cost counters to an engine span —
+// nil-safe (untraced runs pass a nil span and pay nothing).
+func annotateEngineSpan(s *obs.Span, res *Result) {
+	if s == nil || res == nil {
+		return
+	}
+	s.Add("pages_read", int64(res.Stats.PagesRead))
+	s.Add("candidates", int64(res.Stats.Candidates))
+	s.Add("pairs", int64(res.Stats.Refinements))
+	if sh := res.Stats.Shard; sh != nil {
+		s.Add("tiles_run", int64(sh.TilesRun))
+		s.Add("dedup_dropped", int64(sh.DedupDropped))
+	}
 }
 
 // normalize fills Options defaults shared by all engines.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"repro/internal/engine/planner"
 	"repro/internal/geom"
 	"repro/internal/hilbert"
+	"repro/internal/obs"
 )
 
 // MaxTiles caps the configured tile count: far above any useful fan-out, low
@@ -310,6 +312,11 @@ func (t *tiling) assign(elems []geom.Element) (tiles [][]geom.Element, replicate
 // channel, so no tile ever materializes its output and a stalled consumer
 // stalls the tiles instead of growing a buffer.
 func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Options, k int, emit engine.EmitFunc) (*engine.Result, error) {
+	// One traced check up front: when false, the per-tile loop below does no
+	// span work at all, so the untraced fan-out is unchanged.
+	traced := obs.Enabled(ctx)
+
+	_, partSpan := obs.Start(ctx, "shard-partition")
 	partStart := time.Now()
 	tl := newTiling(a, b, opt.World, k)
 	tilesA, replA := tl.assign(a)
@@ -317,6 +324,9 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 	boxesA := boxesByID(a)
 	boxesB := boxesByID(b)
 	partWall := time.Since(partStart)
+	partSpan.End()
+	partSpan.Add("tiles", int64(k))
+	partSpan.Add("replicated", int64(replA+replB))
 
 	workers := opt.Parallelism
 	if workers <= 0 {
@@ -360,7 +370,12 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 			for ti := range queue {
 				start := time.Now()
 				var kept, dropped uint64
-				res, err := engine.RunStream(cctx, e.inner, tilesA[ti], tilesB[ti], innerOpt,
+				tctx := cctx
+				var tileSpan *obs.Span
+				if traced {
+					tctx, tileSpan = obs.Start(cctx, "tile-"+strconv.Itoa(ti))
+				}
+				res, err := engine.RunStream(tctx, e.inner, tilesA[ti], tilesB[ti], innerOpt,
 					func(p geom.Pair) error {
 						// Reference-point dedup on the fly: forward exactly
 						// the pairs whose intersection's low corner falls in
@@ -377,6 +392,9 @@ func (e *Engine) fanout(ctx context.Context, a, b []geom.Element, opt engine.Opt
 							return cctx.Err()
 						}
 					})
+				tileSpan.End()
+				tileSpan.Add("pairs", int64(kept))
+				tileSpan.Add("dedup_dropped", int64(dropped))
 				if err != nil {
 					errOnce.Do(func() { runErr = err; cancel() })
 					return

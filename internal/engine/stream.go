@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // EmitFunc receives one result pair as the engine finds it. Returning a
@@ -51,8 +52,13 @@ func RunStream(ctx context.Context, name string, a, b []geom.Element, opt Option
 	if res, done, err := emptyInputResult(name, a, b, opt); done {
 		return res, err
 	}
+	ctx, span := obs.Start(ctx, "engine:"+name)
+	defer span.End()
 	if sj, ok := j.(StreamJoiner); ok {
-		return sj.JoinStream(ctx, a, b, opt, emit)
+		res, err := sj.JoinStream(ctx, a, b, opt, emit)
+		span.End()
+		annotateEngineSpan(span, res)
+		return res, err
 	}
 	// DiscardPairs is a collected-path switch; on the fallback the collected
 	// pairs ARE the stream, so they must be produced to be replayed.
@@ -67,6 +73,8 @@ func RunStream(ctx context.Context, name string, a, b []geom.Element, opt Option
 		}
 	}
 	res.Pairs = nil
+	span.End()
+	annotateEngineSpan(span, res)
 	return res, nil
 }
 

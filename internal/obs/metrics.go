@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The metrics half of the package: a hand-rolled registry exposing the
+// Prometheus text format (version 0.0.4) with no external dependency.
+// Point-in-time values (queue depths, cache ratios, counters the serving
+// layer already maintains) are registered as collector callbacks read at
+// scrape time; only latency distributions carry their own state (Histogram),
+// observed at event time.
+
+// Sample is one exposed series value: an optional label pair and the value.
+type Sample struct {
+	// Label/Value is the series label ("" = no label). One label per family
+	// is all the serving metrics need; the exposition escapes the value.
+	Label      string
+	LabelValue string
+	V          float64
+}
+
+// Registry holds metric families and renders the exposition. The zero value
+// is not usable; NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	// Exactly one of collect / hist is set.
+	collect func() []Sample
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric registration of %q", f.name))
+	}
+	r.fams[f.name] = f
+}
+
+// Func registers a collector-backed family: fn is called at scrape time and
+// returns the current series values. typ is "counter" or "gauge".
+func (r *Registry) Func(name, help, typ string, fn func() []Sample) {
+	r.add(&family{name: name, help: help, typ: typ, collect: fn})
+}
+
+// GaugeFunc registers a single-series gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Func(name, help, "gauge", func() []Sample { return []Sample{{V: fn()}} })
+}
+
+// DefBuckets is the default latency histogram bucketing, in seconds: spans
+// interactive sub-millisecond cache hits through multi-minute batch joins.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+// Histogram is a labeled cumulative histogram observed at event time. One
+// optional label dimension keeps the exposition simple; Observe("",(v)) is
+// the unlabeled form.
+type Histogram struct {
+	label   string
+	buckets []float64
+	mu      sync.Mutex
+	series  map[string]*histSeries
+}
+
+type histSeries struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Histogram registers a histogram family with one label dimension
+// (label "" = unlabeled) and the given bucket upper bounds (DefBuckets when
+// nil; +Inf is implicit).
+func (r *Registry) Histogram(name, help, label string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{label: label, buckets: buckets, series: make(map[string]*histSeries)}
+	r.add(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// Observe records one value under the given label value.
+func (h *Histogram) Observe(labelValue string, v float64) {
+	h.mu.Lock()
+	s := h.series[labelValue]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(h.buckets))}
+		h.series[labelValue] = s
+	}
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+		}
+	}
+	s.sum += v
+	s.count++
+	h.mu.Unlock()
+}
+
+// Count returns the observation count of a label value (tests).
+func (h *Histogram) Count(labelValue string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.series[labelValue]; s != nil {
+		return s.count
+	}
+	return 0
+}
+
+// WritePrometheus renders every family in the text exposition format, sorted
+// by family name (and label value within a family) so scrapes are
+// byte-stable for identical states.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		if f.hist != nil {
+			f.hist.write(bw, f.name)
+			continue
+		}
+		samples := f.collect()
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].LabelValue < samples[j].LabelValue })
+		for _, s := range samples {
+			writeSeries(bw, f.name, s.Label, s.LabelValue, "", s.V)
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP makes the registry mountable at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+func (h *Histogram) write(bw *bufio.Writer, name string) {
+	h.mu.Lock()
+	labels := make([]string, 0, len(h.series))
+	for lv := range h.series {
+		labels = append(labels, lv)
+	}
+	sort.Strings(labels)
+	type snap struct {
+		lv string
+		s  histSeries
+	}
+	snaps := make([]snap, 0, len(labels))
+	for _, lv := range labels {
+		src := h.series[lv]
+		snaps = append(snaps, snap{lv, histSeries{
+			counts: append([]uint64(nil), src.counts...),
+			sum:    src.sum,
+			count:  src.count,
+		}})
+	}
+	h.mu.Unlock()
+
+	for _, sn := range snaps {
+		for i, ub := range h.buckets {
+			writeSeries2(bw, name+"_bucket", h.label, sn.lv, "le", formatFloat(ub), float64(sn.s.counts[i]))
+		}
+		writeSeries2(bw, name+"_bucket", h.label, sn.lv, "le", "+Inf", float64(sn.s.count))
+		writeSeries(bw, name+"_sum", h.label, sn.lv, "", sn.s.sum)
+		writeSeries(bw, name+"_count", h.label, sn.lv, "", float64(sn.s.count))
+	}
+}
+
+func writeSeries(bw *bufio.Writer, name, label, labelValue, _ string, v float64) {
+	writeSeries2(bw, name, label, labelValue, "", "", v)
+}
+
+// writeSeries2 renders one series line with up to two label pairs (the
+// second carries a histogram's le bound).
+func writeSeries2(bw *bufio.Writer, name, l1, v1, l2, v2 string, v float64) {
+	bw.WriteString(name)
+	if (l1 != "" && v1 != "") || l2 != "" {
+		bw.WriteByte('{')
+		wrote := false
+		if l1 != "" && v1 != "" {
+			fmt.Fprintf(bw, "%s=%q", l1, escapeLabel(v1))
+			wrote = true
+		}
+		if l2 != "" {
+			if wrote {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%s=%q", l2, escapeLabel(v2))
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func escapeLabel(v string) string {
+	// %q handles \ and "; strip newlines which %q would escape into \n
+	// (already valid) — nothing more to do beyond keeping values printable.
+	return strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, v)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -23,8 +23,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/engine/planner"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/transformers"
 )
@@ -72,6 +74,13 @@ type Catalog struct {
 	evictions      uint64
 	retries        uint64
 	lastGoodServes uint64
+	acquires       uint64
+	indexHits      uint64
+
+	// buildObserver, when set, receives every index build's duration and
+	// whether it succeeded — the observability seam for build histograms.
+	// Called outside the catalog lock.
+	buildObserver func(d time.Duration, ok bool)
 }
 
 // CatalogStats is a point-in-time snapshot of catalog activity.
@@ -85,6 +94,11 @@ type CatalogStats struct {
 	// generation while the current one was failing to build.
 	Retries        uint64 `json:"retries"`
 	LastGoodServes uint64 `json:"last_good_serves"`
+	// Acquires counts Acquire calls; IndexHits the ones satisfied by an
+	// already-present index entry (possibly waiting on its in-flight build)
+	// rather than starting a build — the index-cache hit ratio's numerator.
+	Acquires  uint64 `json:"acquires"`
+	IndexHits uint64 `json:"index_hits"`
 }
 
 // DatasetInfo describes one cataloged dataset for /stats, including the
@@ -162,6 +176,14 @@ func NewCatalog(maxIndexes, pageSize int) *Catalog {
 func (c *Catalog) SetStoreFactory(f func(pageSize int) storage.Store) {
 	c.mu.Lock()
 	c.storeFactory = f
+	c.mu.Unlock()
+}
+
+// SetBuildObserver installs the build-duration callback (nil disables).
+// Set it before serving traffic; the callback runs outside the catalog lock.
+func (c *Catalog) SetBuildObserver(f func(d time.Duration, ok bool)) {
+	c.mu.Lock()
+	c.buildObserver = f
 	c.mu.Unlock()
 }
 
@@ -267,7 +289,9 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 	}
 	gen := ds.cur
 	version := gen.version
+	c.acquires++
 	if e, ok := gen.indexes[expand]; ok {
+		c.indexHits++
 		e.refs++
 		c.clock++
 		e.lastUse = c.clock
@@ -298,6 +322,7 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 	pageSize := c.pageSize
 	policy := c.retry
 	factory := c.storeFactory
+	observer := c.buildObserver
 	c.mu.Unlock()
 
 	if expand > 0 {
@@ -309,6 +334,8 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 		}
 	}
 	var idx *transformers.Index
+	_, buildSpan := obs.Start(ctx, "catalog-build")
+	buildStart := time.Now()
 	buildErr, retries := retryTransient(ctx, policy, storage.IsTransient, func() error {
 		var st storage.Store
 		if factory != nil {
@@ -321,6 +348,11 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 		idx, err = transformers.BuildIndex(elems, transformers.IndexOptions{PageSize: pageSize, Store: st})
 		return err
 	})
+	buildSpan.End()
+	buildSpan.Add("retries", int64(retries))
+	if observer != nil {
+		observer(time.Since(buildStart), buildErr == nil)
+	}
 	if buildErr != nil {
 		buildErr = &BuildError{Attempts: retries + 1, Err: buildErr}
 	}
@@ -550,6 +582,8 @@ func (c *Catalog) Stats() CatalogStats {
 		Evictions:      c.evictions,
 		Retries:        c.retries,
 		LastGoodServes: c.lastGoodServes,
+		Acquires:       c.acquires,
+		IndexHits:      c.indexHits,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/transformers"
 )
 
@@ -92,6 +93,11 @@ type joinRequest struct {
 	// an aborted NDJSON trailer if the stream already started). The server
 	// default applies when zero.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks for the request's span tree in the response (equivalent to
+	// the X-Trace: 1 header). Joins are traced either way — tracing is how
+	// slow joins land in /debug/joins with their breakdown — this only
+	// controls whether the tree is echoed back.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type pairDTO struct {
@@ -100,11 +106,13 @@ type pairDTO struct {
 }
 
 type joinResponse struct {
-	A       string      `json:"a"`
-	B       string      `json:"b"`
-	Cached  bool        `json:"cached"`
-	Summary JoinSummary `json:"summary"`
-	Pairs   []pairDTO   `json:"pairs,omitempty"`
+	A         string        `json:"a"`
+	B         string        `json:"b"`
+	RequestID string        `json:"request_id"`
+	Cached    bool          `json:"cached"`
+	Summary   JoinSummary   `json:"summary"`
+	Pairs     []pairDTO     `json:"pairs,omitempty"`
+	Trace     *obs.TraceDTO `json:"trace,omitempty"`
 }
 
 type rangeRequest struct {
@@ -130,7 +138,9 @@ type rangeStats struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string        `json:"error"`
+	RequestID string        `json:"request_id,omitempty"`
+	Trace     *obs.TraceDTO `json:"trace,omitempty"`
 }
 
 // maxTenantLen caps the accepted X-Tenant header: tenant IDs key maps and
@@ -163,6 +173,27 @@ func tenantFromHeaders(r *http.Request) TenantInfo {
 	return TenantInfo{ID: clean, Priority: pr}
 }
 
+// requestIDFrom honors the client's X-Request-ID (sanitized the same way as
+// tenant IDs: length-capped, control characters stripped) so traces correlate
+// with the caller's own logs, and mints one otherwise. The resolved ID is
+// echoed on every response — success, error, or stream trailer.
+func requestIDFrom(r *http.Request) string {
+	id := strings.TrimSpace(r.Header.Get("X-Request-ID"))
+	if len(id) > maxTenantLen {
+		id = id[:maxTenantLen]
+	}
+	id = strings.Map(func(c rune) rune {
+		if c < 0x20 || c == 0x7f {
+			return -1
+		}
+		return c
+	}, id)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	return id
+}
+
 // requestContext derives the working context of one request: tenant identity
 // attached, and the deadline from the request's timeout_ms or the server
 // default. The returned cancel must always be called.
@@ -193,7 +224,47 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
+	// Observability surface: Prometheus-style text exposition, the slow-join
+	// ring with full span trees, and the planner's prediction-vs-reality
+	// report.
+	mux.Handle("GET /metrics", svc.Metrics())
+	mux.HandleFunc("GET /debug/joins", func(w http.ResponseWriter, r *http.Request) {
+		ms := svc.SlowJoinThreshold().Milliseconds()
+		if svc.SlowJoinThreshold() < 0 {
+			ms = -1 // sub-millisecond negatives truncate to 0; keep the record-all sentinel
+		}
+		writeJSON(w, http.StatusOK, debugJoinsResponse{
+			ThresholdMS: ms,
+			Total:       svc.SlowJoins().Total(),
+			Joins:       svc.SlowJoins().Snapshot(),
+		})
+	})
+	mux.HandleFunc("GET /debug/planner", func(w http.ResponseWriter, r *http.Request) {
+		rep := svc.PlannerRecorder().Report()
+		samples := svc.PlannerRecorder().Snapshot()
+		if len(samples) > debugPlannerSamples {
+			samples = samples[:debugPlannerSamples]
+		}
+		writeJSON(w, http.StatusOK, debugPlannerResponse{Report: rep, Recent: samples})
+	})
 	return mux
+}
+
+// debugPlannerSamples caps the raw samples echoed by /debug/planner; the full
+// ring still feeds the aggregate report (and the NDJSON mirror, if enabled).
+const debugPlannerSamples = 100
+
+type debugJoinsResponse struct {
+	// ThresholdMS is the slow-join bound; negative means every join is
+	// recorded.
+	ThresholdMS int64            `json:"threshold_ms"`
+	Total       int64            `json:"total"`
+	Joins       []obs.JoinRecord `json:"joins"`
+}
+
+type debugPlannerResponse struct {
+	Report obs.PlannerReport   `json:"report"`
+	Recent []obs.PlannerSample `json:"recent"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -203,29 +274,58 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps service errors onto HTTP status codes: 429 for a shed
+// statusOf maps service errors onto HTTP status codes: 429 for a shed
 // request (back off your traffic — the daemon is fine), 503 for global
 // saturation, 504 for an expired request deadline.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownDataset):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, ErrUnknownAlgorithm):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, ErrShed):
-		w.Header().Set("Retry-After", "1")
-		status = http.StatusTooManyRequests
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return http.StatusInternalServerError
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) bool {
+// outcomeOf names a join's terminal state for the slow-join log.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrBusy):
+		return "busy"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	}
+	return "error"
+}
+
+// writeError answers a failed request: mapped status, Retry-After on
+// load-shedding statuses, and the request ID (plus the span tree when the
+// caller asked to see it) in the body so failures correlate with traces.
+func writeError(w http.ResponseWriter, err error, rid string, trace *obs.TraceDTO) int {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: rid, Trace: trace})
+	return status
+}
+
+// badRequest writes a 400 with the request ID attached.
+func badRequest(w http.ResponseWriter, rid, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg, RequestID: rid})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, rid string, v any, maxBytes int64) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -233,38 +333,39 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) b
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), RequestID: rid})
 			return false
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		badRequest(w, rid, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
 func handleDatasets(svc *Service, w http.ResponseWriter, r *http.Request) {
+	rid := requestIDFrom(r)
+	w.Header().Set("X-Request-ID", rid)
 	var req datasetRequest
-	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+	if !decodeBody(w, r, rid, &req, svc.cfg.MaxBodyBytes) {
 		return
 	}
 	if req.Name == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset name is required"})
+		badRequest(w, rid, "dataset name is required")
 		return
 	}
 	var elems []transformers.Element
 	switch {
 	case req.Generate != nil && len(req.Elements) > 0:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "provide either elements or generate, not both"})
+		badRequest(w, rid, "provide either elements or generate, not both")
 		return
 	case req.Generate != nil:
 		if req.Generate.N > svc.cfg.MaxGenerateElements {
-			writeJSON(w, http.StatusBadRequest, errorResponse{
-				Error: fmt.Sprintf("generate: n %d exceeds the %d-element cap", req.Generate.N, svc.cfg.MaxGenerateElements)})
+			badRequest(w, rid, fmt.Sprintf("generate: n %d exceeds the %d-element cap", req.Generate.N, svc.cfg.MaxGenerateElements))
 			return
 		}
 		var err error
 		if elems, err = req.Generate.elements(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			badRequest(w, rid, err.Error())
 			return
 		}
 	case len(req.Elements) > 0:
@@ -272,57 +373,111 @@ func handleDatasets(svc *Service, w http.ResponseWriter, r *http.Request) {
 		for i, e := range req.Elements {
 			b := e.Box.box()
 			if !b.Valid() {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("element %d: invalid box (lo > hi)", i)})
+				badRequest(w, rid, fmt.Sprintf("element %d: invalid box (lo > hi)", i))
 				return
 			}
 			elems[i] = transformers.Element{ID: e.ID, Box: b}
 		}
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "provide elements or generate"})
+		badRequest(w, rid, "provide elements or generate")
 		return
 	}
 	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
 	defer cancel()
 	info, err := svc.AddDataset(ctx, req.Name, elems)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, rid, nil)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// predicateOf names the join predicate for traces and planner samples.
+func predicateOf(distance bool) string {
+	if distance {
+		return "distance"
+	}
+	return "intersects"
+}
+
+// wantTrace reports whether the client asked for the span tree in the
+// response body — via the request field or the X-Trace header.
+func wantTrace(req joinRequest, r *http.Request) bool {
+	if req.Trace {
+		return true
+	}
+	v := strings.TrimSpace(r.Header.Get("X-Trace"))
+	return v != "" && v != "0"
+}
+
 func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance bool) {
+	rid := requestIDFrom(r)
+	w.Header().Set("X-Request-ID", rid)
 	var req joinRequest
-	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+	if !decodeBody(w, r, rid, &req, svc.cfg.MaxBodyBytes) {
 		return
 	}
 	if req.A == "" || req.B == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "both dataset names a and b are required"})
+		badRequest(w, rid, "both dataset names a and b are required")
 		return
 	}
 	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache, Algorithm: req.Algorithm, ShardTiles: req.ShardTiles}
 	if distance {
 		if req.Distance <= 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance must be positive"})
+			badRequest(w, rid, "distance must be positive")
 			return
 		}
 		params.Distance = req.Distance
 	} else if req.Distance != 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "distance is only valid on /join/distance"})
+		badRequest(w, rid, "distance is only valid on /join/distance")
 		return
 	}
 	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
 	defer cancel()
+	// Every join is traced: the span tree is what /debug/joins records for
+	// slow ones. Echoing it in the response stays opt-in.
+	tr := obs.New(rid)
+	ctx = obs.NewContext(ctx, tr)
+	echo := wantTrace(req, r)
+	tenant := tenantFromHeaders(r).ID
+
 	if req.Stream {
-		streamJoin(svc, ctx, w, req, params)
+		streamJoin(svc, ctx, w, r, req, params, rid, tr, echo, distance)
 		return
 	}
+	start := time.Now()
 	out, err := svc.Join(ctx, req.A, req.B, params)
+	wall := time.Since(start)
+	dto := tr.Finish()
+	rec := obs.JoinRecord{
+		Time:      time.Now(),
+		RequestID: rid,
+		Tenant:    tenant,
+		A:         req.A,
+		B:         req.B,
+		Predicate: predicateOf(distance),
+		Outcome:   outcomeOf(err),
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Trace:     dto,
+	}
 	if err != nil {
-		writeError(w, err)
+		var echoed *obs.TraceDTO
+		if echo {
+			echoed = dto
+		}
+		rec.Status = writeError(w, err, rid, echoed)
+		svc.observeJoin(rec, wall)
 		return
 	}
-	resp := joinResponse{A: req.A, B: req.B, Cached: out.Cached, Summary: out.Summary}
+	rec.Status = http.StatusOK
+	rec.Engine = out.Summary.Algorithm
+	rec.Cached = out.Cached
+	rec.Pairs = int64(out.Summary.Results)
+	svc.observeJoin(rec, wall)
+	resp := joinResponse{A: req.A, B: req.B, RequestID: rid, Cached: out.Cached, Summary: out.Summary}
+	if echo {
+		resp.Trace = dto
+	}
 	if req.IncludePairs {
 		resp.Pairs = make([]pairDTO, len(out.Pairs))
 		for i, p := range out.Pairs {
@@ -355,11 +510,13 @@ const streamWriteTimeout = 30 * time.Second
 // "pairs" says how many pair lines preceded it, so even a consumer that lost
 // count can tell a truncated pair list from a complete one.
 type streamTrailer struct {
-	Summary *JoinSummary `json:"summary,omitempty"`
-	Cached  bool         `json:"cached"`
-	Error   string       `json:"error,omitempty"`
-	Aborted bool         `json:"aborted"`
-	Pairs   int          `json:"pairs"`
+	Summary   *JoinSummary  `json:"summary,omitempty"`
+	RequestID string        `json:"request_id"`
+	Cached    bool          `json:"cached"`
+	Error     string        `json:"error,omitempty"`
+	Aborted   bool          `json:"aborted"`
+	Pairs     int           `json:"pairs"`
+	Trace     *obs.TraceDTO `json:"trace,omitempty"`
 }
 
 // streamJoin runs the join through the service's streaming path and writes
@@ -370,7 +527,7 @@ type streamTrailer struct {
 // proper HTTP status; later ones are reported in the trailer with
 // aborted:true, so clients can always distinguish truncation from
 // completion.
-func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, req joinRequest, params JoinParams) {
+func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, r *http.Request, req joinRequest, params JoinParams, rid string, tr *obs.Trace, echo bool, distance bool) {
 	bw := bufio.NewWriterSize(w, 64<<10)
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
@@ -394,6 +551,7 @@ func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, req jo
 		}
 	}
 	n := 0
+	begin := time.Now()
 	out, err := svc.JoinStream(ctx, req.A, req.B, params, func(p transformers.Pair) error {
 		start()
 		if err := enc.Encode(pairDTO{A: p.A, B: p.B}); err != nil {
@@ -411,22 +569,51 @@ func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, req jo
 		}
 		return nil
 	})
+	wall := time.Since(begin)
+	dto := tr.Finish()
+	var echoed *obs.TraceDTO
+	if echo {
+		echoed = dto
+	}
+	rec := obs.JoinRecord{
+		Time:      time.Now(),
+		RequestID: rid,
+		Tenant:    tenantFromHeaders(r).ID,
+		A:         req.A,
+		B:         req.B,
+		Predicate: predicateOf(distance),
+		Outcome:   outcomeOf(err),
+		Pairs:     int64(n),
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Trace:     dto,
+	}
 	if err != nil {
 		if !started {
-			writeError(w, err)
+			rec.Status = writeError(w, err, rid, echoed)
+			svc.observeJoin(rec, wall)
 			return
 		}
-		// The status line is gone; the NDJSON trailer carries the error.
-		// Re-arm first — the last deadline may predate a long pair-free
-		// stretch.
+		// The status line is gone; the NDJSON trailer carries the error. A
+		// plain error after pairs flowed means the consumer saw a truncated
+		// stream — record it as aborted. Re-arm first — the last deadline
+		// may predate a long pair-free stretch.
+		if rec.Outcome == "error" {
+			rec.Outcome = "aborted"
+		}
+		rec.Status = http.StatusOK
+		svc.observeJoin(rec, wall)
 		arm()
-		_ = enc.Encode(streamTrailer{Error: err.Error(), Aborted: true, Pairs: n})
+		_ = enc.Encode(streamTrailer{RequestID: rid, Error: err.Error(), Aborted: true, Pairs: n, Trace: echoed})
 		_ = bw.Flush()
 		return
 	}
+	rec.Status = http.StatusOK
+	rec.Engine = out.Summary.Algorithm
+	rec.Cached = out.Cached
+	svc.observeJoin(rec, wall)
 	start() // a zero-pair join still answers with the NDJSON trailer
 	arm()
-	_ = enc.Encode(streamTrailer{Summary: &out.Summary, Cached: out.Cached, Pairs: n})
+	_ = enc.Encode(streamTrailer{Summary: &out.Summary, RequestID: rid, Cached: out.Cached, Pairs: n, Trace: echoed})
 	_ = bw.Flush()
 	if flusher != nil {
 		flusher.Flush()
@@ -434,24 +621,26 @@ func streamJoin(svc *Service, ctx context.Context, w http.ResponseWriter, req jo
 }
 
 func handleRange(svc *Service, w http.ResponseWriter, r *http.Request) {
+	rid := requestIDFrom(r)
+	w.Header().Set("X-Request-ID", rid)
 	var req rangeRequest
-	if !decodeBody(w, r, &req, svc.cfg.MaxBodyBytes) {
+	if !decodeBody(w, r, rid, &req, svc.cfg.MaxBodyBytes) {
 		return
 	}
 	if req.Dataset == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dataset name is required"})
+		badRequest(w, rid, "dataset name is required")
 		return
 	}
 	query := req.Box.box()
 	if !query.Valid() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid query box (lo > hi)"})
+		badRequest(w, rid, "invalid query box (lo > hi)")
 		return
 	}
 	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
 	defer cancel()
 	elems, rs, err := svc.RangeQuery(ctx, req.Dataset, query)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, rid, nil)
 		return
 	}
 	stats := rangeStats{

@@ -461,6 +461,15 @@ func (p *Pool) Shedding(window time.Duration) []string {
 	return out
 }
 
+// QueueDepth returns the number of requests currently waiting for admission
+// across all tenants — the cheap point read the admission-wait span and the
+// queue-depth gauge use (Stats snapshots everything and allocates).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queuedLen
+}
+
 // Stats returns a snapshot of pool counters, per-tenant admission included.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()

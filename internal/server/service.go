@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/engine/planner"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/transformers"
 )
@@ -78,6 +80,18 @@ type Config struct {
 	// (in-memory when nil); the -faults flag installs fault-injecting
 	// stores here.
 	StoreFactory func(pageSize int) storage.Store
+	// SlowJoinThreshold bounds which joins land (with their span trees) in
+	// the /debug/joins ring: slower-than-threshold only. Zero selects
+	// DefaultSlowJoinThreshold; negative records every join.
+	SlowJoinThreshold time.Duration
+	// DebugJoins sizes the /debug/joins ring (DefaultDebugJoins when zero);
+	// PlannerSamples sizes the planner accuracy ring (DefaultPlannerSamples
+	// when zero).
+	DebugJoins     int
+	PlannerSamples int
+	// PlannerLog, when non-nil, receives every planner accuracy sample as
+	// one NDJSON line (the -planner-log file).
+	PlannerLog io.Writer
 }
 
 // Resource-bound defaults.
@@ -130,6 +144,10 @@ type Service struct {
 	// its own admission counters; these are the service-level ones).
 	tenantMu sync.Mutex
 	tenants  map[string]*tenantCounters
+
+	// obs is the observability state: metric registry, slow-join ring,
+	// planner accuracy recorder. Always non-nil.
+	obs *serviceObs
 }
 
 // tenantCounters tallies one tenant's resilience events at the service layer.
@@ -167,7 +185,7 @@ func NewService(cfg Config) *Service {
 	if cfg.StoreFactory != nil {
 		cat.SetStoreFactory(cfg.StoreFactory)
 	}
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		cat:   cat,
 		cache: NewJoinCache(cfg.CacheEntries, cfg.CacheMaxPairs),
@@ -181,6 +199,15 @@ func NewService(cfg Config) *Service {
 		engineJoins: make(map[string]uint64),
 		tenants:     make(map[string]*tenantCounters),
 	}
+	s.obs = newServiceObs(s, cfg)
+	cat.SetBuildObserver(func(d time.Duration, ok bool) {
+		outcome := "ok"
+		if !ok {
+			outcome = "error"
+		}
+		s.obs.buildHist.Observe(outcome, d.Seconds())
+	})
+	return s
 }
 
 // tenantCounter returns (creating if needed) the counters of ctx's tenant.
@@ -399,6 +426,12 @@ type joinPlan struct {
 	// cost is the admission price in pool slot units, derived from the
 	// planner's predicted cost of the resolved engine.
 	cost int
+	// predictedMS is the planner's cost estimate of the resolved engine
+	// (-1 when unpriced: missing statistics or an Inf/NaN score) and scores
+	// the full candidate set — the planner accuracy recorder's inputs,
+	// captured for explicit requests too, not just "auto".
+	predictedMS float64
+	scores      []planner.Score
 }
 
 // planJoin validates the request and resolves algorithm, fan-out and dataset
@@ -475,6 +508,7 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 // the same cached statistics, and price at 1 when statistics are missing.
 func (s *Service) priceJoin(a, b string, jp *joinPlan) {
 	jp.cost = 1
+	jp.predictedMS = -1
 	scores := []planner.Score(nil)
 	if jp.plan != nil {
 		scores = jp.plan.Scores
@@ -498,14 +532,18 @@ func (s *Service) priceJoin(a, b string, jp *joinPlan) {
 			ShardWorkers:         workers,
 		}).Scores
 	}
+	jp.scores = scores
 	for _, sc := range scores {
 		if sc.Engine != jp.algo {
 			continue
 		}
 		if math.IsInf(sc.CostMS, 1) || math.IsNaN(sc.CostMS) {
 			jp.cost = 1 << 20 // planner refused to price it: full pool
-		} else if c := 1 + int(sc.CostMS/s.cfg.CostUnitMS); c > jp.cost {
-			jp.cost = c
+		} else {
+			jp.predictedMS = sc.CostMS
+			if c := 1 + int(sc.CostMS/s.cfg.CostUnitMS); c > jp.cost {
+				jp.cost = c
+			}
 		}
 		return
 	}
@@ -516,27 +554,55 @@ func (s *Service) priceJoin(a, b string, jp *joinPlan) {
 // one.
 type execFunc func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error)
 
+// admitted runs fn inside one pool slot, bracketing the queue wait with an
+// "admission-wait" span (queue depth and slot cost at arrival) and the slot
+// time with a top-level "execute" span whose context fn receives, so engine
+// and catalog spans nest under it. The execute span is returned (nil when
+// untraced or never admitted) so the streaming path can attach its emit
+// record to it after the fact.
+func (s *Service) admitted(ctx context.Context, cost int, fn func(ctx context.Context) error) (*obs.Span, error) {
+	_, wait := obs.Start(ctx, "admission-wait")
+	if wait != nil {
+		wait.Add("queue_depth", int64(s.pool.QueueDepth()))
+		wait.Add("cost_units", int64(cost))
+	}
+	var exec *obs.Span
+	err := s.pool.Do(ctx, admission(ctx, cost), func() error {
+		wait.End()
+		ectx, ex := obs.Start(ctx, "execute")
+		exec = ex
+		defer ex.End()
+		return fn(ectx)
+	})
+	wait.End() // idempotent: closes the span when admission failed
+	return exec, err
+}
+
 // executeJoin runs the planned join inside one pool slot, so admission
 // control bounds all expensive work — including the single-flight index
 // builds acquisition can trigger (a distance join builds expanded variants
 // of both sides, §VIII) and the per-request builds of non-catalog engines.
 // Waiting on another request's in-flight build consumes this slot but never
 // needs a second one, so slots cannot deadlock.
-func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, bool, error) {
+func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, bool, *obs.Span, error) {
 	var res *engine.Result
 	var key JoinKey
 	var stale bool
+	var exSpan *obs.Span
 	var err error
 	if jp.algo == engine.Transformers {
 		// Catalog path: reuse the prebuilt (and, for distance joins,
 		// pre-expanded) indexes through the registry's prebuilt option.
-		err = s.pool.Do(ctx, admission(ctx, jp.cost), func() error {
-			ha, err := s.cat.Acquire(ctx, a, p.Distance)
+		exSpan, err = s.admitted(ctx, jp.cost, func(ctx context.Context) error {
+			cctx, cat := obs.Start(ctx, "catalog")
+			ha, err := s.cat.Acquire(cctx, a, p.Distance)
 			if err != nil {
+				cat.End()
 				return err
 			}
 			defer ha.Release()
-			hb, err := s.cat.Acquire(ctx, b, p.Distance)
+			hb, err := s.cat.Acquire(cctx, b, p.Distance)
+			cat.End()
 			if err != nil {
 				return err
 			}
@@ -555,7 +621,7 @@ func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp
 	} else {
 		// Registry path: the engine indexes private element copies per
 		// request (distance expansion included), inside the same slot.
-		err = s.pool.Do(ctx, admission(ctx, jp.cost), func() error {
+		exSpan, err = s.admitted(ctx, jp.cost, func(ctx context.Context) error {
 			ea, verA, err := s.cat.Elements(a)
 			if err != nil {
 				return err
@@ -577,7 +643,7 @@ func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp
 	if err != nil {
 		s.noteOutcome(ctx, err, 0, false)
 	}
-	return res, key, stale, err
+	return res, key, stale, exSpan, err
 }
 
 // summarize flattens one executed result into the cacheable cost summary and
@@ -603,18 +669,27 @@ func (s *Service) summarize(algo string, res *engine.Result) JoinSummary {
 // order. The returned pair slice may be shared with the cache — callers must
 // not mutate it.
 func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOutcome, error) {
+	start := time.Now()
+	_, planSpan := obs.Start(ctx, "plan")
 	jp, err := s.planJoin(a, b, p)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	annotatePlan(planSpan, jp)
 	if !p.NoCache {
-		if res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles)); ok {
+		_, cacheSpan := obs.Start(ctx, "cache")
+		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles))
+		cacheSpan.End()
+		if ok {
+			cacheSpan.Add("hit", 1)
 			summary := res.Summary
 			summary.Planner = jp.plan // report this request's planning, not the filler's
+			s.recordPlannerSample(ctx, a, b, p, jp, summary, time.Since(start), true)
 			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
 		}
 	}
-	res, key, stale, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	res, key, stale, _, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.Run(ctx, algo, ea, eb, opt)
 	})
 	if err != nil {
@@ -628,7 +703,66 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	}
 	summary.Planner = jp.plan
 	summary.Stale = stale
+	s.recordPlannerSample(ctx, a, b, p, jp, summary, time.Since(start), false)
 	return &JoinOutcome{Pairs: res.Pairs, Summary: summary}, nil
+}
+
+// annotatePlan attaches the resolved plan to the "plan" span; nil-safe.
+func annotatePlan(span *obs.Span, jp joinPlan) {
+	if span == nil {
+		return
+	}
+	span.Add("candidates", int64(len(jp.scores)))
+	span.Add("cost_units", int64(jp.cost))
+	if jp.execTiles > 0 {
+		span.Add("shard_tiles", int64(jp.execTiles))
+	}
+}
+
+// recordPlannerSample feeds one served join into the planner accuracy
+// recorder. Cache hits replay the cached summary's measurements and are
+// flagged so aggregation keeps but does not average them; the measured cost
+// is the modeled execution currency the planner predicts in
+// (build + join wall + modeled I/O), so predicted and measured compare like
+// for like.
+func (s *Service) recordPlannerSample(ctx context.Context, a, b string, p JoinParams, jp joinPlan, summary JoinSummary, wall time.Duration, cacheHit bool) {
+	sample := obs.PlannerSample{
+		Time:        time.Now(),
+		RequestID:   obs.FromContext(ctx).ID(),
+		Predicate:   "intersects",
+		Distance:    p.Distance,
+		Engine:      jp.algo,
+		Auto:        jp.plan != nil,
+		PredictedMS: jp.predictedMS,
+		MeasuredMS:  summary.BuildMS + summary.JoinWallMS + summary.ModeledIOMS,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		CacheHit:    cacheHit,
+	}
+	if p.Distance > 0 {
+		sample.Predicate = "distance"
+	}
+	sample.A = s.datasetFeatures(a, jp.va)
+	sample.B = s.datasetFeatures(b, jp.vb)
+	if len(jp.scores) > 0 {
+		sample.Scores = make(map[string]float64, len(jp.scores))
+		for _, sc := range jp.scores {
+			if !math.IsInf(sc.CostMS, 0) && !math.IsNaN(sc.CostMS) {
+				sample.Scores[sc.Engine] = sc.CostMS
+			}
+		}
+	}
+	s.obs.recorder.Record(sample)
+}
+
+// datasetFeatures snapshots one input's planner statistics for a sample.
+func (s *Service) datasetFeatures(name string, version uint64) obs.DatasetFeatures {
+	f := obs.DatasetFeatures{Name: name, Version: int64(version)}
+	if st, _, err := s.cat.DatasetStats(name); err == nil {
+		f.Count = st.Count
+		f.SkewCV = st.SkewCV
+		f.ClusterFraction = st.ClusterFraction
+	}
+	return f
 }
 
 // JoinStream runs the join of datasets a and b, delivering each result pair
@@ -642,22 +776,36 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 // canceled) aborts the underlying join and is returned. The returned
 // outcome carries the summary with Pairs nil.
 func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emit func(transformers.Pair) error) (*JoinOutcome, error) {
+	start := time.Now()
+	_, planSpan := obs.Start(ctx, "plan")
 	jp, err := s.planJoin(a, b, p)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	annotatePlan(planSpan, jp)
 	if !p.NoCache {
-		if res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles)); ok {
+		_, cacheSpan := obs.Start(ctx, "cache")
+		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles))
+		cacheSpan.End()
+		if ok {
+			cacheSpan.Add("hit", 1)
+			_, replay := obs.Start(ctx, "replay")
 			for i, pr := range res.Pairs {
 				if err := emit(pr); err != nil {
+					replay.End()
+					replay.Add("pairs", int64(i))
 					s.streamedPairs.Add(uint64(i))
 					s.abortedStreams.Add(1)
 					return nil, err
 				}
 			}
+			replay.End()
+			replay.Add("pairs", int64(len(res.Pairs)))
 			s.streamedPairs.Add(uint64(len(res.Pairs)))
 			summary := res.Summary
 			summary.Planner = jp.plan
+			s.recordPlannerSample(ctx, a, b, p, jp, summary, time.Since(start), true)
 			return &JoinOutcome{Summary: summary, Cached: true}, nil
 		}
 	}
@@ -670,7 +818,12 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 	var buf []transformers.Pair
 	var streamed uint64
 	emitFailed := false
-	res, key, stale, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	// When traced, the accumulated time spent inside the consumer's emit is
+	// attached to the execute span afterwards as one "stream-emit" child —
+	// two clock reads per pair, and none at all untraced.
+	traced := obs.Enabled(ctx)
+	var emitDur time.Duration
+	res, key, stale, exSpan, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.RunStream(ctx, algo, ea, eb, opt, func(pr transformers.Pair) error {
 			if caching {
 				if len(buf) < maxCache {
@@ -679,14 +832,25 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 					caching, buf = false, nil // over threshold: never cached
 				}
 			}
-			if err := emit(pr); err != nil {
+			var emitErr error
+			if traced {
+				t0 := time.Now()
+				emitErr = emit(pr)
+				emitDur += time.Since(t0)
+			} else {
+				emitErr = emit(pr)
+			}
+			if emitErr != nil {
 				emitFailed = true
-				return err
+				return emitErr
 			}
 			streamed++ // delivered pairs only, like the cache-replay path
 			return nil
 		})
 	})
+	if exSpan != nil {
+		exSpan.Record("stream-emit", emitDur).Add("pairs", int64(streamed))
+	}
 	s.streamedPairs.Add(streamed)
 	if err != nil {
 		// aborted_streams means the consumer ended a stream that had begun:
@@ -705,6 +869,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 	}
 	summary.Planner = jp.plan
 	summary.Stale = stale
+	s.recordPlannerSample(ctx, a, b, p, jp, summary, time.Since(start), false)
 	return &JoinOutcome{Summary: summary}, nil
 }
 
@@ -735,10 +900,16 @@ func (s *Service) RangeQuery(ctx context.Context, dataset string, query transfor
 }
 
 // Stats is the /stats document.
+// Stats marshals deterministically: encoding/json emits Go maps with sorted
+// keys, so the engine/tenant maps scrape byte-stably — asserted by test, do
+// not replace the maps with types whose marshalling is insertion-ordered.
 type Stats struct {
-	UptimeMS     float64 `json:"uptime_ms"`
-	Joins        uint64  `json:"joins"`
-	RangeQueries uint64  `json:"range_queries"`
+	UptimeMS float64 `json:"uptime_ms"`
+	// UptimeS is the whole-second uptime — the stable field for scrapers
+	// that want a coarse monotone counter rather than a float.
+	UptimeS      int64  `json:"uptime_s"`
+	Joins        uint64 `json:"joins"`
+	RangeQueries uint64 `json:"range_queries"`
 	// AutoJoins counts joins that went through the planner; EngineJoins
 	// counts executed (non-cached) joins per engine.
 	AutoJoins   uint64            `json:"auto_joins"`
@@ -818,6 +989,7 @@ func (s *Service) Stats() Stats {
 	}
 	return Stats{
 		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
+		UptimeS:        int64(time.Since(s.start) / time.Second),
 		Joins:          s.joins.Load(),
 		RangeQueries:   s.rangeQueries.Load(),
 		AutoJoins:      s.autoJoins.Load(),
