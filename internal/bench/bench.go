@@ -101,6 +101,11 @@ type Sample struct {
 	ShardReplicated  int     `json:"shard_replicated,omitempty"`
 	ShardDedupDrops  uint64  `json:"shard_dedup_drops,omitempty"`
 	ShardUtilization float64 `json:"shard_utilization_pct,omitempty"`
+
+	// In-memory stripe-partition detail, present when the inmem engine ran:
+	// the effective cut and the boundary replication it cost.
+	InMemStripes    int `json:"inmem_stripes,omitempty"`
+	InMemReplicated int `json:"inmem_replicated,omitempty"`
 }
 
 // ms converts a duration to fractional milliseconds for JSON output.
@@ -156,6 +161,10 @@ func sampleFromResult(res *engine.Result, parallel int) Sample {
 		s.ShardReplicated = sh.ReplicatedA + sh.ReplicatedB
 		s.ShardDedupDrops = sh.DedupDropped
 		s.ShardUtilization = sh.UtilizationPct
+	}
+	if im := res.Stats.InMem; im != nil {
+		s.InMemStripes = im.Stripes
+		s.InMemReplicated = im.ReplicatedA + im.ReplicatedB
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine/inmem"
 	"repro/internal/geom"
 	"repro/internal/gipsy"
 	"repro/internal/grid"
@@ -13,7 +14,7 @@ import (
 	"repro/internal/storage"
 )
 
-// Built-in engine names. The registry serves these six; Register accepts
+// Built-in engine names. The registry serves these seven; Register accepts
 // more.
 const (
 	Transformers = "transformers"
@@ -21,6 +22,7 @@ const (
 	RTree        = "rtree"
 	GIPSY        = "gipsy"
 	Grid         = "grid"
+	InMem        = "inmem"
 	Naive        = "naive"
 )
 
@@ -36,6 +38,8 @@ const (
 	ShardTransformers = ShardPrefix + Transformers
 	// ShardGrid shards the in-memory grid hash join.
 	ShardGrid = ShardPrefix + Grid
+	// ShardInMem shards the cache-resident stripe-partition join.
+	ShardInMem = ShardPrefix + InMem
 )
 
 // ShardMaxTiles is the contract bound on Options.ShardTiles: sharded engines
@@ -51,6 +55,7 @@ func init() {
 	Register(rtreeEngine{})
 	Register(gipsyEngine{})
 	Register(gridEngine{})
+	Register(inmemEngine{})
 	Register(naiveEngine{})
 }
 
@@ -358,6 +363,50 @@ func (gridEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Optio
 		return nil, err
 	}
 	res.Stats.Candidates = g.Comparisons
+	res.Stats.finish(opt.Disk)
+	return res, nil
+}
+
+// inmemEngine is the cache-resident in-memory fast path: struct-of-arrays
+// MBR buffers partitioned into cache-sized stripes on one dimension, joined
+// per stripe with a forward-scan sweep, mini-join decomposition keeping
+// every pair exactly once with no dedup pass (internal/engine/inmem). Pure
+// CPU — no paged index, no modeled I/O — and the only engine besides
+// transformers that honors Options.Parallelism.
+type inmemEngine struct{}
+
+func (inmemEngine) Name() string               { return InMem }
+func (inmemEngine) Capabilities() Capabilities { return Capabilities{Parallel: true, InMemory: true} }
+
+func (e inmemEngine) Join(ctx context.Context, a, b []geom.Element, opt Options) (*Result, error) {
+	return CollectStream(ctx, e, a, b, opt)
+}
+
+func (inmemEngine) JoinStream(ctx context.Context, a, b []geom.Element, opt Options, emit EmitFunc) (*Result, error) {
+	a, b, opt, err := prepare(ctx, a, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: InMem}
+	start := time.Now()
+	p := inmem.Partition(a, b, inmem.Config{})
+	res.Stats.BuildWall = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := newSink(emit, true, opt)
+	defer s.watch(ctx)()
+	js := p.Join(inmem.JoinConfig{Parallelism: opt.Parallelism, Stop: s.flag()}, s.sendIDs)
+	if err := s.finish(ctx); err != nil {
+		return nil, err
+	}
+	res.Stats.JoinWall = js.Wall
+	res.Stats.Candidates = js.Comparisons
+	res.Stats.Refinements = js.Results
+	res.Stats.InMem = &InMemStats{
+		Stripes: js.Stripes, SplitDim: js.SplitDim, SweepDim: js.SweepDim,
+		ReplicatedA: js.ReplicatedA, ReplicatedB: js.ReplicatedB,
+	}
 	res.Stats.finish(opt.Disk)
 	return res, nil
 }

@@ -141,6 +141,27 @@ type Stats struct {
 	// Shard carries the fan-out record when a sharded meta-engine ran
 	// (nil otherwise).
 	Shard *ShardStats `json:"shard,omitempty"`
+
+	// InMem carries the stripe-partition record when the in-memory engine
+	// ran (nil otherwise).
+	InMem *InMemStats `json:"inmem,omitempty"`
+}
+
+// InMemStats is the per-execution record of the in-memory stripe-partition
+// engine: how the space was cut and what the cut cost in boundary
+// replication. It lives here (not in internal/engine/inmem) for the same
+// reason ShardStats does — Result.Stats, the serving layer and the bench
+// JSON carry it without importing the kernel.
+type InMemStats struct {
+	// Stripes is the effective stripe count after quantile-cut dedup.
+	Stripes int `json:"stripes"`
+	// SplitDim is the striped dimension, SweepDim the plane-sweep one.
+	SplitDim int `json:"split_dim"`
+	SweepDim int `json:"sweep_dim"`
+	// ReplicatedA/ReplicatedB count extra SoA element copies made because a
+	// box's split-dimension interval crosses stripe boundaries.
+	ReplicatedA int `json:"replicated_a"`
+	ReplicatedB int `json:"replicated_b"`
 }
 
 // ShardStats is the per-execution record of a sharded meta-engine: how the
@@ -328,6 +349,10 @@ func annotateEngineSpan(s *obs.Span, res *Result) {
 	if sh := res.Stats.Shard; sh != nil {
 		s.Add("tiles_run", int64(sh.TilesRun))
 		s.Add("dedup_dropped", int64(sh.DedupDropped))
+	}
+	if im := res.Stats.InMem; im != nil {
+		s.Add("stripes", int64(im.Stripes))
+		s.Add("replicated", int64(im.ReplicatedA+im.ReplicatedB))
 	}
 }
 

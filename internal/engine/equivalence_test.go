@@ -101,7 +101,7 @@ func TestRegistry(t *testing.T) {
 	// The built-ins in the paper's presentation order, then the sharded
 	// meta-engines (registered by internal/engine/shard, imported by this
 	// package's external property-test file).
-	want := []string{Transformers, PBSM, RTree, GIPSY, Grid, Naive, ShardTransformers, ShardGrid}
+	want := []string{Transformers, PBSM, RTree, GIPSY, Grid, InMem, Naive, ShardTransformers, ShardGrid, ShardInMem}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -129,6 +129,12 @@ func TestRegistry(t *testing.T) {
 	}
 	if c := mustGet(t, ShardGrid).Capabilities(); !c.Parallel || !c.InMemory {
 		t.Errorf("shard-grid capabilities wrong: %+v", c)
+	}
+	if c := mustGet(t, InMem).Capabilities(); !c.Parallel || !c.InMemory || c.Reference {
+		t.Errorf("inmem capabilities wrong: %+v", c)
+	}
+	if c := mustGet(t, ShardInMem).Capabilities(); !c.Parallel || !c.InMemory {
+		t.Errorf("shard-inmem capabilities wrong: %+v", c)
 	}
 }
 

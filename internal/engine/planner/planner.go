@@ -52,6 +52,18 @@ type Config struct {
 // planner stops auto-selecting in-memory engines.
 const DefaultMaxInMemoryElements = 250_000
 
+// FitsInMemory reports whether both datasets together fit under the
+// in-memory element cap (maxElements, or DefaultMaxInMemoryElements when
+// non-positive). It is the single gate shared by the planner's
+// in-memory-engine exclusion and the in-memory fast-path cost branch, so the
+// two can never disagree about what "RAM-resident" means.
+func FitsInMemory(a, b DatasetStats, maxElements int) bool {
+	if maxElements <= 0 {
+		maxElements = DefaultMaxInMemoryElements
+	}
+	return a.Count+b.Count <= maxElements
+}
+
 // Score is one engine's predicted cost.
 type Score struct {
 	Engine string `json:"engine"`
@@ -123,6 +135,11 @@ const (
 	// border-straddling MBRs, a few extra cell probes), measured on the
 	// shard benchmarks.
 	tShardPartition = 2.5e-7
+	// tInMemPartition prices the inmem engine's stripe partitioning per
+	// element: the radix sweep-order sort plus the counting fill into the
+	// SoA arena (BenchmarkInMemJoin partition+join minus join, and the
+	// build column of the BENCH_2 engines comparison).
+	tInMemPartition = 2e-7
 	// shardPoolEfficiency discounts the ideal fan-out speedup for pool
 	// scheduling, result merging and tile imbalance the density-balanced
 	// cut could not remove.
@@ -258,7 +275,7 @@ func (m model) score(j engine.Joiner) Score {
 	// The in-memory cap binds sharded in-memory engines too: tiles run as
 	// threads of one process, so sharding parallelizes the work without
 	// shrinking the resident footprint the cap protects.
-	if j.Capabilities().InMemory && m.a.Count+m.b.Count > m.maxInMem {
+	if j.Capabilities().InMemory && !FitsInMemory(m.a, m.b, m.maxInMem) {
 		return Score{Engine: j.Name(), CostMS: math.Inf(1),
 			Reason: fmt.Sprintf("in-memory engine, |A|+|B|=%d over the %d cap", m.a.Count+m.b.Count, m.maxInMem)}
 	}
@@ -309,10 +326,22 @@ func (m model) score(j engine.Joiner) Score {
 		// Pure CPU: hash the smaller side, probe with the larger. Dense
 		// cells turn probes quadratic, so clustering and skew are the
 		// dominant penalty (the BICOD '15 sizing caps cells at the mean
-		// element extent, which clustered data defeats).
+		// element extent, which clustered data defeats). The per-probe
+		// factor covers the multi-cell walk and dedup check around each
+		// candidate test, not just the MBB compare (BENCH_2 measures
+		// ~2.3e-7s per probe on uniform 100K).
 		blowup := 1 + 6*m.cluster + 0.5*m.skew
-		cost := (nA+nB)*1.5e-7 + math.Max(nA, nB)*8*blowup*tComp
+		cost := (nA+nB)*1.5e-7 + math.Max(nA, nB)*24*blowup*tComp
 		return m.ms(j, cost, fmt.Sprintf("in-memory hash, dense-cell blow-up x%.2f", blowup))
+	case engine.InMem:
+		// Pure CPU, cache-resident: quantile stripe partition, then
+		// forward sweeps over SoA arrays. Clustering lengthens the sweep's
+		// active window and skew unbalances stripes — both inflate
+		// comparisons, but far less than grid's dense cells, because the
+		// sweep only visits pairs that genuinely overlap on one axis.
+		blowup := 1 + 2*m.cluster + 0.3*m.skew
+		cost := (nA+nB)*tInMemPartition + math.Max(nA, nB)*4*blowup*tComp
+		return m.ms(j, cost, fmt.Sprintf("cache-resident SoA sweep, overlap blow-up x%.2f", blowup))
 	case engine.Naive:
 		if nA*nB > m.maxRef {
 			return Score{Engine: j.Name(), CostMS: math.Inf(1),

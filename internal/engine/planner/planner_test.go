@@ -158,15 +158,40 @@ func TestPlanMeasuredAgreement(t *testing.T) {
 }
 
 // TestPlanSmallUniformPrefersInMemory: below the in-memory cap on smooth
-// data the grid hash join is genuinely cheapest (no paged index, no I/O) and
-// the planner should say so — selection is statistics-driven, not a
-// hardcoded default.
+// data the cache-resident stripe join is genuinely cheapest (no paged index,
+// no I/O, no per-candidate hash probing) and the planner should say so —
+// selection is statistics-driven, not a hardcoded default. Grid must still
+// rank as a finite (selectable) alternative.
 func TestPlanSmallUniformPrefersInMemory(t *testing.T) {
 	a := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 14}))
 	b := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 15}))
 	d := Plan(a, b, Config{})
-	if d.Engine != engine.Grid {
-		t.Errorf("small uniform: chose %q, want grid\nscores: %+v", d.Engine, d.Scores)
+	if d.Engine != engine.InMem {
+		t.Errorf("small uniform: chose %q, want inmem\nscores: %+v", d.Engine, d.Scores)
+	}
+	if g := scoreOf(t, d, engine.Grid); math.IsInf(g, 1) {
+		t.Errorf("grid under the cap must stay selectable, got +Inf")
+	}
+}
+
+// TestFitsInMemory: the shared cap gate — boundary-inclusive, defaulting,
+// and symmetric in its inputs.
+func TestFitsInMemory(t *testing.T) {
+	at := func(n int) DatasetStats { return DatasetStats{Count: n} }
+	if !FitsInMemory(at(100), at(100), 200) {
+		t.Error("sum equal to the cap must fit")
+	}
+	if FitsInMemory(at(101), at(100), 200) {
+		t.Error("sum over the cap must not fit")
+	}
+	if !FitsInMemory(at(DefaultMaxInMemoryElements/2), at(DefaultMaxInMemoryElements/2), 0) {
+		t.Error("non-positive cap must default to DefaultMaxInMemoryElements")
+	}
+	if FitsInMemory(at(DefaultMaxInMemoryElements), at(1), -1) {
+		t.Error("default cap must bind the combined cardinality")
+	}
+	if FitsInMemory(at(100), at(101), 200) != FitsInMemory(at(101), at(100), 200) {
+		t.Error("gate must be symmetric in a and b")
 	}
 }
 
@@ -182,6 +207,12 @@ func TestPlanInMemoryCap(t *testing.T) {
 	}
 	if g := scoreOf(t, d, engine.Grid); !math.IsInf(g, 1) {
 		t.Errorf("grid over the cap must score +Inf, got %v", g)
+	}
+	if im := scoreOf(t, d, engine.InMem); !math.IsInf(im, 1) {
+		t.Errorf("inmem over the cap must score +Inf, got %v", im)
+	}
+	if im := scoreOf(t, d, engine.ShardInMem); !math.IsInf(im, 1) {
+		t.Errorf("shard-inmem over the cap must score +Inf, got %v", im)
 	}
 }
 

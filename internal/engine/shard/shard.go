@@ -52,10 +52,12 @@ const MaxTiles = engine.ShardMaxTiles
 const maxCoverCells = 4096
 
 func init() {
-	// The two serving-relevant inner engines: the robust adaptive join and
-	// the in-memory hash join. engine.Register accepts more via New.
+	// The serving-relevant inner engines: the robust adaptive join, the
+	// in-memory hash join, and the cache-resident stripe join.
+	// engine.Register accepts more via New.
 	engine.Register(New(engine.Transformers))
 	engine.Register(New(engine.Grid))
+	engine.Register(New(engine.InMem))
 }
 
 // Engine is the sharded meta-engine around one registered inner engine.

@@ -147,7 +147,12 @@ func newSink(emit EmitFunc, parallel bool, opt Options) *sink {
 
 // send forwards one element pair to the caller's emit unless the sink has
 // already failed.
-func (s *sink) send(a, b geom.Element) {
+func (s *sink) send(a, b geom.Element) { s.sendIDs(a.ID, b.ID) }
+
+// sendIDs is send for kernels that work on flat ID arrays (the SoA in-memory
+// join) instead of materialized elements — same serialization, same sticky
+// abort, no Element construction on the hot path.
+func (s *sink) sendIDs(aID, bID uint64) {
 	if s.locked {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -155,7 +160,7 @@ func (s *sink) send(a, b geom.Element) {
 	if s.err != nil {
 		return
 	}
-	if err := s.out(geom.Pair{A: a.ID, B: b.ID}); err != nil {
+	if err := s.out(geom.Pair{A: aID, B: bID}); err != nil {
 		s.err = err
 		s.stop.Store(true)
 	}

@@ -31,6 +31,12 @@ type Grid struct {
 	extent   geom.Box // origin + dims*cellSize per dimension
 	cells    [][]int32
 	elems    []geom.Element
+	// soa mirrors elems in struct-of-arrays layout so Probe's per-cell
+	// candidate scan runs as a batched filter over flat bound arrays; hits
+	// is its reused survivor scratch (single-goroutine confinement makes a
+	// plain field safe).
+	soa  *geom.SoA
+	hits []int32
 	// Comparisons counts element MBB intersection tests performed by probes
 	// against this grid (the paper's "#intersection tests" metric).
 	Comparisons uint64
@@ -49,7 +55,7 @@ type Config struct {
 // Build constructs a grid over the build-side elements. An empty build set
 // yields a usable empty grid.
 func Build(elems []geom.Element, cfg Config) *Grid {
-	g := &Grid{elems: elems}
+	g := &Grid{elems: elems, soa: geom.MakeSoA(elems)}
 	mbb := geom.MBBOf(elems)
 	if len(elems) == 0 {
 		g.dims = [3]int{1, 1, 1}
@@ -187,18 +193,20 @@ func (g *Grid) cellOf(p geom.Point) int {
 // once, via emit.
 func (g *Grid) Probe(q geom.Element, emit func(build geom.Element)) {
 	g.visitCells(q.Box, func(ci int) {
-		for _, bi := range g.cells[ci] {
-			b := g.elems[bi]
-			g.Comparisons++
-			inter, ok := b.Box.Intersection(q.Box)
-			if !ok {
-				continue
-			}
+		cell := g.cells[ci]
+		g.Comparisons += uint64(len(cell))
+		g.hits = g.soa.FilterGather(q.Box, cell, g.hits[:0])
+		for _, bi := range g.hits {
 			// Reference-point dedup: report only in the cell holding the
-			// intersection's low corner. The corner of a pair intersection
+			// intersection's low corner — the componentwise max of the two
+			// low bounds, since survivors are known to intersect. The corner
 			// always lies inside the grid, since both boxes overlap cells.
-			if g.cellOf(clampIntoGrid(g, inter.Lo)) == ci {
-				emit(b)
+			var lo geom.Point
+			for d := 0; d < geom.Dims; d++ {
+				lo[d] = math.Max(g.soa.Lo[d][bi], q.Box.Lo[d])
+			}
+			if g.cellOf(clampIntoGrid(g, lo)) == ci {
+				emit(g.elems[bi])
 			}
 		}
 	})

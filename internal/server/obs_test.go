@@ -291,6 +291,46 @@ func TestMetricsHistogramCountsMatchServedJoins(t *testing.T) {
 	}
 }
 
+// TestObsInMemEngineSpan: the in-memory fast-path engine is a first-class
+// citizen of the observability surface — an explicit inmem join carries an
+// "engine:inmem" span in its trace, reports the algorithm in the summary,
+// and lands in the duration histogram under the engine="inmem" label.
+func TestObsInMemEngineSpan(t *testing.T) {
+	ts, svc := newTestServer(t, Config{})
+	addDataset(t, svc, "a", bigOverlapDataset(2000, 417))
+	addDataset(t, svc, "b", bigOverlapDataset(2000, 418))
+
+	code, out, _ := postTraced(t, ts.URL+"/join",
+		`{"a":"a","b":"b","algorithm":"inmem","trace":true}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, out.Error)
+	}
+	if out.Summary.Algorithm != "inmem" {
+		t.Fatalf("summary algorithm = %q, want inmem", out.Summary.Algorithm)
+	}
+	if out.Summary.Results == 0 {
+		t.Fatal("inmem join found no pairs on overlapping data")
+	}
+	requireSpans(t, out.Trace, "plan", "execute", "engine:inmem")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	seen := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "spatialjoin_join_duration_seconds_count{") &&
+			strings.Contains(line, `engine="inmem"`) {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("no engine=\"inmem\" duration histogram series after an inmem join\n%s", raw)
+	}
+}
+
 // TestObsDeadlineJoin: a 504 carries the request ID and (on request) the
 // trace in the error body, and the ring records outcome "deadline".
 func TestObsDeadlineJoin(t *testing.T) {
