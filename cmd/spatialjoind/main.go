@@ -28,8 +28,10 @@
 //	                     cache hit ratios, runtime gauges
 //	GET  /debug/joins    ring of slow joins (-slow-join-ms; negative = all)
 //	                     with their full request span trees
-//	GET  /debug/planner  planner prediction-vs-reality report and recent
-//	                     samples (-planner-log mirrors them as NDJSON)
+//	GET  /debug/planner  planner prediction-vs-reality report, learned drift
+//	                     corrections and recent samples (-planner-log mirrors
+//	                     them as NDJSON; -planner-calibration loads fitted
+//	                     cost constants produced by cmd/plannerfit)
 //
 // Joins are traced end to end (admission wait, planning, catalog access,
 // per-tile execution, stream emission); send X-Trace: 1 or "trace": true to
@@ -62,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/planner"
 	"repro/internal/faultinject"
 	"repro/internal/server"
 )
@@ -90,6 +93,7 @@ func main() {
 	debugJoins := flag.Int("debug-joins", 0, "slow-join ring capacity (0 = default)")
 	plannerSamples := flag.Int("planner-samples", 0, "planner accuracy ring capacity (0 = default)")
 	plannerLog := flag.String("planner-log", "", "append every planner accuracy sample to this file as NDJSON")
+	plannerCalib := flag.String("planner-calibration", "", "load fitted planner cost constants from this JSON file (cmd/plannerfit output)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 	flag.Parse()
 
@@ -128,6 +132,18 @@ func main() {
 		}
 		defer f.Close()
 		cfg.PlannerLog = f
+	}
+	if *plannerCalib != "" {
+		data, err := os.ReadFile(*plannerCalib)
+		if err != nil {
+			log.Fatalf("-planner-calibration: %v", err)
+		}
+		calib, err := planner.ParseCalibration(data)
+		if err != nil {
+			log.Fatalf("-planner-calibration %s: %v", *plannerCalib, err)
+		}
+		cfg.PlannerCalibration = calib
+		log.Printf("planner calibration loaded: %d engines fitted from %d samples", len(calib.Engines), calib.Samples)
 	}
 	if *faults != "" {
 		sc, err := faultinject.Parse(*faults, *faultSeed)

@@ -79,18 +79,28 @@ type Sample struct {
 	// PlannerCostMS is the planner's predicted cost for this engine on
 	// this workload, recorded by the "engines" experiment so BENCH files
 	// double as the planner's empirical calibration record.
-	PlannerCostMS   float64 `json:"planner_cost_ms,omitempty"`
-	Parallel        int     `json:"parallel,omitempty"`
-	BuildTotalMS    float64 `json:"build_total_ms"`
-	JoinWallMS      float64 `json:"join_wall_ms"`
-	JoinIOTimeMS    float64 `json:"join_io_ms"`
-	JoinTotalMS     float64 `json:"join_total_ms"`
-	Comparisons     uint64  `json:"comparisons"`
-	MetaComparisons uint64  `json:"meta_comparisons"`
-	Results         uint64  `json:"results"`
-	Reads           uint64  `json:"io_reads"`
-	RandReads       uint64  `json:"io_rand_reads"`
-	BytesRead       uint64  `json:"io_bytes_read"`
+	PlannerCostMS float64 `json:"planner_cost_ms,omitempty"`
+	// PlannerCalibratedMS, MeasuredCostMS and the rel_err pair are recorded
+	// by the "plannerfit" experiment: the hand-tuned prediction
+	// (PlannerCostMS) and the calibrated + drift-corrected one, each compared
+	// against the same held-out execution measured in the planner's cost
+	// currency (build + join wall + modeled I/O). Samples with workload
+	// "aggregate" carry the per-engine mean errors across distributions.
+	PlannerCalibratedMS float64 `json:"planner_calibrated_ms,omitempty"`
+	MeasuredCostMS      float64 `json:"measured_cost_ms,omitempty"`
+	RelErrHandTuned     float64 `json:"rel_err_hand_tuned,omitempty"`
+	RelErrCalibrated    float64 `json:"rel_err_calibrated,omitempty"`
+	Parallel            int     `json:"parallel,omitempty"`
+	BuildTotalMS        float64 `json:"build_total_ms"`
+	JoinWallMS          float64 `json:"join_wall_ms"`
+	JoinIOTimeMS        float64 `json:"join_io_ms"`
+	JoinTotalMS         float64 `json:"join_total_ms"`
+	Comparisons         uint64  `json:"comparisons"`
+	MetaComparisons     uint64  `json:"meta_comparisons"`
+	Results             uint64  `json:"results"`
+	Reads               uint64  `json:"io_reads"`
+	RandReads           uint64  `json:"io_rand_reads"`
+	BytesRead           uint64  `json:"io_bytes_read"`
 
 	// Shard fan-out detail, present when a sharded meta-engine ran: the
 	// cut, the boundary replication it cost, what dedup dropped, and how
@@ -303,6 +313,12 @@ func Experiments() []Experiment {
 			Paper:       "extension (engine planner)",
 			Description: "cross-engine comparison on uniform/clustered/skewed data, every registered engine, with planner predictions",
 			Run:         runEngines,
+		},
+		{
+			ID:          "plannerfit",
+			Paper:       "extension (self-correcting planner)",
+			Description: "planner accuracy on held-out executions: hand-tuned constants vs fitted calibration + online drift correction",
+			Run:         runPlannerFit,
 		},
 	}
 }

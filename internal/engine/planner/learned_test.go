@@ -1,0 +1,587 @@
+package planner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+)
+
+// TestFitRoundTrip is the seeded recovery property: synthesize samples from
+// known per-term constants, fit, and require the fitter to recover them. The
+// ridge pulls every multiplier toward 1 with weight fitRidge, so exact
+// recovery of a true multiplier c lands near (c + fitRidge)/(1 + fitRidge) —
+// the tolerance accounts for that deliberate shrinkage.
+func TestFitRoundTrip(t *testing.T) {
+	truth := map[string]map[string]float64{
+		"grid":         {"build": 1.8, "probe": 0.6, "probe_cluster": 2.5},
+		"transformers": {"io": 0.8, "cpu": 1.4},
+	}
+	rng := rand.New(rand.NewSource(42))
+	var samples []FitSample
+	// Iterate in sorted order so the rng stream (and hence the test) is
+	// deterministic — map order would reshuffle the draws per run.
+	engs := make([]string, 0, len(truth))
+	for eng := range truth {
+		engs = append(engs, eng)
+	}
+	sort.Strings(engs)
+	for _, eng := range engs {
+		mult := truth[eng]
+		names := make([]string, 0, len(mult))
+		for name := range mult {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i := 0; i < 60; i++ {
+			terms := make(map[string]float64, len(mult))
+			measured := 0.0
+			for _, name := range names {
+				// Varied magnitudes decorrelate the columns.
+				v := 0.5 + 40*rng.Float64()
+				terms[name] = v
+				measured += truth[eng][name] * v
+			}
+			// ±2% multiplicative noise — the fit must survive measurement
+			// jitter, not just interpolate.
+			measured *= 1 + 0.02*(2*rng.Float64()-1)
+			samples = append(samples, FitSample{Engine: eng, Terms: terms, MeasuredMS: measured})
+		}
+	}
+	cal, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("fitted calibration invalid: %v", err)
+	}
+	if cal.Samples != len(samples) {
+		t.Errorf("usable samples %d, want %d", cal.Samples, len(samples))
+	}
+	for eng, mult := range truth {
+		ec, ok := cal.Engines[eng]
+		if !ok {
+			t.Fatalf("engine %s missing from calibration", eng)
+		}
+		for name, c := range mult {
+			got := ec.Multipliers[name]
+			shrunk := (c + fitRidge) / (1 + fitRidge)
+			if math.Abs(got-c)/c > 0.15 {
+				t.Errorf("%s/%s: fitted %.3f, truth %.3f (ridge target ~%.3f)", eng, name, got, c, shrunk)
+			}
+		}
+		if !(ec.MeanRelErrorAfter < ec.MeanRelErrorBefore) {
+			t.Errorf("%s: fit did not reduce in-sample error: before %.3f after %.3f",
+				eng, ec.MeanRelErrorBefore, ec.MeanRelErrorAfter)
+		}
+		// The constants are genuinely off 1, so the fitted error must be a
+		// large improvement, not a rounding artifact.
+		if ec.MeanRelErrorAfter > 0.1 {
+			t.Errorf("%s: residual error %.3f, want < 0.1", eng, ec.MeanRelErrorAfter)
+		}
+	}
+}
+
+// TestFitIgnoresUnusableSamples: excluded candidates (no terms), cache-hit
+// replays (measured 0) and poisoned rows must not contribute — and must not
+// crash the solver.
+func TestFitIgnoresUnusableSamples(t *testing.T) {
+	good := FitSample{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: 20}
+	bad := []FitSample{
+		{Engine: "grid", MeasuredMS: 5},                                                                    // no terms (excluded candidate)
+		{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: 0},                            // cache hit
+		{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: -3},                           // negative
+		{Engine: "grid", Terms: map[string]float64{"probe": math.Inf(1)}, MeasuredMS: 5},                   // inf term
+		{Engine: "grid", Terms: map[string]float64{"probe": math.NaN()}, MeasuredMS: 5},                    // nan term
+		{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: math.Inf(1)},                  // inf measured
+		{Engine: "", Terms: map[string]float64{"probe": 10}, MeasuredMS: 5},                                // no engine
+		{Engine: "grid", Terms: map[string]float64{"probe": 0}, MeasuredMS: 5},                             // all-zero terms
+		{Engine: "grid", Terms: map[string]float64{"probe": 10, "x": -1}, MeasuredMS: 5},                   // negative term
+		{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: math.NaN()},                   // nan measured
+		{Engine: "grid", Terms: map[string]float64{}, MeasuredMS: 5},                                       // empty terms
+		{Engine: "grid", Terms: map[string]float64{"probe": math.Inf(-1)}, MeasuredMS: 5},                  // -inf term
+		{Engine: "grid", Terms: map[string]float64{"probe": 10, "q": math.NaN()}, MeasuredMS: 5},           // mixed nan
+		{Engine: "grid", Terms: map[string]float64{"probe": 10, "q": math.Inf(1)}, MeasuredMS: 5},          // mixed inf
+		{Engine: "grid", Terms: map[string]float64{"probe": 10, "q": -0.001}, MeasuredMS: 5},               // mixed negative
+		{Engine: "grid", Terms: map[string]float64{"probe": 10}, MeasuredMS: -math.SmallestNonzeroFloat64}, // tiny negative
+	}
+	cal, err := Fit(append(bad, good, good, good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples != 3 {
+		t.Errorf("usable samples %d, want 3", cal.Samples)
+	}
+	ec := cal.Engines["grid"]
+	if ec.Samples != 3 {
+		t.Errorf("grid samples %d, want 3", ec.Samples)
+	}
+	// y = 2x exactly, so the fit must land near (2 + λ)/(1 + λ).
+	want := (2 + fitRidge) / (1 + fitRidge)
+	if got := ec.Multipliers["probe"]; math.Abs(got-want) > 1e-6 {
+		t.Errorf("probe multiplier %.6f, want %.6f", got, want)
+	}
+
+	if _, err := Fit(bad); err == nil {
+		t.Error("fitting only unusable samples must error")
+	}
+	if _, err := Fit(nil); err == nil {
+		t.Error("fitting nothing must error")
+	}
+}
+
+// TestFitClampsRunaway: degenerate training data (measured wildly off any
+// sane multiple of the terms) must still produce in-band, finite multipliers.
+func TestFitClampsRunaway(t *testing.T) {
+	cal, err := Fit([]FitSample{
+		{Engine: "grid", Terms: map[string]float64{"probe": 1}, MeasuredMS: 1e6},
+		{Engine: "inmem", Terms: map[string]float64{"sweep": 1e6}, MeasuredMS: 1e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cal.Engines["grid"].Multipliers["probe"]; got != maxMultiplier {
+		t.Errorf("runaway-high multiplier %v, want clamp %v", got, maxMultiplier)
+	}
+	if got := cal.Engines["inmem"].Multipliers["sweep"]; got != minMultiplier {
+		t.Errorf("runaway-low multiplier %v, want clamp %v", got, minMultiplier)
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrationParseAndValidate: the startup path must reject documents
+// that could poison planning and accept the fitter's own output.
+func TestCalibrationParseAndValidate(t *testing.T) {
+	good := []byte(`{"samples":4,"engines":{"grid":{"samples":4,"multipliers":{"probe":1.5}}}}`)
+	c, err := ParseCalibration(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Multiplier("grid", "probe"); got != 1.5 {
+		t.Errorf("parsed multiplier %v, want 1.5", got)
+	}
+	if got := c.Multiplier("grid", "absent"); got != 1 {
+		t.Errorf("absent term multiplier %v, want 1", got)
+	}
+	if got := c.Multiplier("absent", "probe"); got != 1 {
+		t.Errorf("absent engine multiplier %v, want 1", got)
+	}
+	var nilCal *Calibration
+	if got := nilCal.Multiplier("grid", "probe"); got != 1 {
+		t.Errorf("nil calibration multiplier %v, want 1", got)
+	}
+	if err := nilCal.Validate(); err != nil {
+		t.Errorf("nil calibration must validate: %v", err)
+	}
+
+	for name, doc := range map[string]string{
+		"malformed":     `{"engines":`,
+		"zero":          `{"engines":{"grid":{"multipliers":{"probe":0}}}}`,
+		"negative":      `{"engines":{"grid":{"multipliers":{"probe":-2}}}}`,
+		"over-band":     `{"engines":{"grid":{"multipliers":{"probe":51}}}}`,
+		"under-band":    `{"engines":{"grid":{"multipliers":{"probe":0.01}}}}`,
+		"wrong-file":    `{"probe":-3}`,
+		"no-engines":    `{"samples":4,"engines":{}}`,
+		"empty-doc":     `{}`,
+		"unknown-field": `{"samples":4,"engines":{"grid":{"multipliers":{"probe":1.5}}},"extra":1}`,
+	} {
+		if _, err := ParseCalibration([]byte(doc)); err == nil {
+			t.Errorf("%s calibration must be rejected", name)
+		}
+	}
+}
+
+// TestPlanAppliesCalibration: a calibration that inflates the would-be
+// winner's terms must flip the decision — and raw Terms must stay identical
+// so the next fit regresses the same features.
+func TestPlanAppliesCalibration(t *testing.T) {
+	a := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 14}))
+	b := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 15}))
+	base := Plan(a, b, Config{})
+	if base.Engine != engine.InMem {
+		t.Fatalf("baseline chose %q, want inmem", base.Engine)
+	}
+	cal := &Calibration{Engines: map[string]EngineCalibration{
+		engine.InMem: {Multipliers: map[string]float64{
+			"partition": maxMultiplier, "sweep": maxMultiplier,
+			"sweep_cluster": maxMultiplier, "sweep_skew": maxMultiplier,
+		}},
+		engine.ShardInMem: {Multipliers: map[string]float64{
+			"inner": maxMultiplier, "partition": maxMultiplier,
+		}},
+	}}
+	d := Plan(a, b, Config{Calibration: cal})
+	if d.Engine == engine.InMem || d.Engine == engine.ShardInMem {
+		t.Fatalf("50x-inflated inmem still selected: %+v", d.Scores)
+	}
+	calInMem := scoreOf(t, d, engine.InMem)
+	baseInMem := scoreOf(t, base, engine.InMem)
+	if calInMem < baseInMem*40 {
+		t.Errorf("calibrated inmem cost %.2f, want ~50x the baseline %.2f", calInMem, baseInMem)
+	}
+	var rawBase, rawCal []CostTerm
+	for _, s := range base.Scores {
+		if s.Engine == engine.InMem {
+			rawBase = s.Terms
+		}
+	}
+	for _, s := range d.Scores {
+		if s.Engine == engine.InMem {
+			rawCal = s.Terms
+		}
+	}
+	if len(rawBase) == 0 || len(rawCal) != len(rawBase) {
+		t.Fatalf("raw terms missing: base %v cal %v", rawBase, rawCal)
+	}
+	for i := range rawBase {
+		if rawBase[i] != rawCal[i] {
+			t.Errorf("raw term %v changed under calibration: %v vs %v", rawBase[i].Name, rawBase[i], rawCal[i])
+		}
+	}
+}
+
+// TestPlanAppliesCorrection: a Config.Correct factor must scale the final
+// cost, mark the reason, and flip the decision when large enough; degenerate
+// factors are ignored.
+func TestPlanAppliesCorrection(t *testing.T) {
+	a := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 14}))
+	b := Analyze(datagen.Uniform(datagen.Config{N: 8000, Seed: 15}))
+	base := Plan(a, b, Config{})
+	if base.Engine != engine.InMem {
+		t.Fatalf("baseline chose %q, want inmem", base.Engine)
+	}
+	inflate := func(eng string) float64 {
+		if eng == engine.InMem || eng == engine.ShardInMem {
+			return 4
+		}
+		return 1
+	}
+	d := Plan(a, b, Config{Correct: inflate})
+	if d.Engine == engine.InMem || d.Engine == engine.ShardInMem {
+		t.Fatalf("4x-corrected inmem still selected: %+v", d.Scores)
+	}
+	got, want := scoreOf(t, d, engine.InMem), scoreOf(t, base, engine.InMem)*4
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("corrected inmem cost %.3f, want %.3f", got, want)
+	}
+	for _, s := range d.Scores {
+		if s.Engine == engine.InMem && !strings.Contains(s.Reason, "drift") {
+			t.Errorf("corrected score reason %q does not mark the drift factor", s.Reason)
+		}
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		v := bad
+		d := Plan(a, b, Config{Correct: func(string) float64 { return v }})
+		if got := scoreOf(t, d, engine.InMem); got != scoreOf(t, base, engine.InMem) {
+			t.Errorf("degenerate factor %v changed cost: %v", bad, got)
+		}
+	}
+}
+
+// TestCorrectorConverges is the convergence property: under a fixed injected
+// bias the smoothed factor approaches the true measured/predicted ratio, so
+// corrected predictions converge on reality (ratio → 1).
+func TestCorrectorConverges(t *testing.T) {
+	c := NewCorrector()
+	const bias = 2.5
+	for i := 0; i < 200; i++ {
+		c.Observe("a", "b", "grid", 10, 10*bias)
+	}
+	f := c.Factor("a", "b", "grid")
+	if math.Abs(f-bias)/bias > 0.05 {
+		t.Errorf("factor %.3f after 200 biased observations, want ~%.1f", f, bias)
+	}
+	// Corrected prediction against the persistent measurement: ratio → 1.
+	if ratio := (10 * bias) / (10 * f); math.Abs(ratio-1) > 0.05 {
+		t.Errorf("measured/corrected ratio %.3f, want → 1", ratio)
+	}
+	// The bias removed, the factor must decay back toward 1.
+	for i := 0; i < 200; i++ {
+		c.Observe("a", "b", "grid", 10, 10)
+	}
+	if f := c.Factor("a", "b", "grid"); math.Abs(f-1) > 0.05 {
+		t.Errorf("factor %.3f after bias removed, want → 1", f)
+	}
+}
+
+// TestCorrectorSingleOutlierNeverFlips: one wild observation moves the factor
+// by at most alpha·ln(maxObsRatio) in log space (~1.52x), so a decision whose
+// top-two gap exceeds that cannot flip on a single outlier.
+func TestCorrectorSingleOutlierNeverFlips(t *testing.T) {
+	maxStep := math.Exp(correctorAlpha * math.Log(correctorMaxObsRatio))
+	c := NewCorrector()
+	c.Observe("a", "b", "x", 1, 1e9) // absurd single outlier
+	if f := c.Factor("a", "b", "x"); f > maxStep+1e-9 {
+		t.Fatalf("single outlier moved factor to %.3f, bound %.3f", f, maxStep)
+	}
+	c.Observe("a", "b", "y", 1e9, 1) // absurd in the other direction
+	if f := c.Factor("a", "b", "y"); f < 1/maxStep-1e-9 {
+		t.Fatalf("single outlier moved factor to %.3f, bound %.3f", 1/maxStep, maxStep)
+	}
+
+	// End to end on a real plan: the winner's margin over the runner-up
+	// exceeds the single-step bound, so one outlier against the winner must
+	// not change the decision. Clustered data gives inmem a ~2x margin over
+	// the runner-up; ShardWorkers is pinned so a many-core machine cannot
+	// narrow it.
+	a := Analyze(datagen.DenseCluster(datagen.Config{N: 30000, Seed: 6}))
+	b := Analyze(datagen.DenseCluster(datagen.Config{N: 30000, Seed: 7}))
+	cfg := Config{ShardWorkers: 1}
+	base := Plan(a, b, cfg)
+	if len(base.Scores) < 2 || base.Scores[0].Engine != base.Engine {
+		t.Fatalf("unexpected baseline decision %+v", base)
+	}
+	if gap := base.Scores[1].CostMS / base.Scores[0].CostMS; gap < maxStep*1.05 {
+		t.Fatalf("baseline top-two gap %.2f too narrow for the property (bound %.2f)", gap, maxStep)
+	}
+	cc := NewCorrector()
+	cc.Observe("a", "b", base.Engine, base.Scores[0].CostMS, base.Scores[0].CostMS*1e6)
+	cfg.Correct = cc.Bind("a", "b")
+	d := Plan(a, b, cfg)
+	if d.Engine != base.Engine {
+		t.Errorf("single outlier flipped the decision: %q -> %q", base.Engine, d.Engine)
+	}
+}
+
+// TestCorrectorBoundsAndHygiene: clamped factors, ignored degenerate inputs,
+// bounded key space, nil safety, and a stable snapshot.
+func TestCorrectorBounds(t *testing.T) {
+	c := NewCorrector()
+	for i := 0; i < 1000; i++ {
+		c.Observe("a", "b", "x", 1, 1e9)
+	}
+	if f := c.Factor("a", "b", "x"); f != correctorMaxFactor {
+		t.Errorf("persistent huge drift factor %v, want clamp %v", f, correctorMaxFactor)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Observe("a", "b", "y", 1e9, 1)
+	}
+	if f := c.Factor("a", "b", "y"); f != 1/correctorMaxFactor {
+		t.Errorf("persistent tiny drift factor %v, want clamp %v", f, 1/correctorMaxFactor)
+	}
+
+	// Degenerate observations must not create state.
+	before := c.Len()
+	c.Observe("a", "b", "z", 0, 5)
+	c.Observe("a", "b", "z", 5, 0)
+	c.Observe("a", "b", "z", -1, 5)
+	c.Observe("a", "b", "z", math.NaN(), 5)
+	c.Observe("a", "b", "z", 5, math.Inf(1))
+	c.Observe("a", "b", "", 5, 5)
+	if c.Len() != before {
+		t.Errorf("degenerate observations created state: %d -> %d", before, c.Len())
+	}
+	if f := c.Factor("a", "b", "z"); f != 1 {
+		t.Errorf("untracked factor %v, want 1", f)
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	if snap[0].Engine != "x" || snap[1].Engine != "y" {
+		t.Errorf("snapshot not sorted: %+v", snap)
+	}
+	if snap[0].Factor != correctorMaxFactor || snap[0].Samples != 1000 {
+		t.Errorf("snapshot series wrong: %+v", snap[0])
+	}
+
+	var nilC *Corrector
+	nilC.Observe("a", "b", "x", 1, 2)
+	if nilC.Factor("a", "b", "x") != 1 || nilC.Len() != 0 || nilC.Snapshot() != nil || nilC.Bind("a", "b") != nil {
+		t.Error("nil corrector must be inert")
+	}
+}
+
+// TestCorrectorKeyBound: past the key cap, new series are dropped (flat
+// memory) while existing series keep updating.
+func TestCorrectorKeyBound(t *testing.T) {
+	c := NewCorrector()
+	for i := 0; i < correctorMaxPairs+100; i++ {
+		c.Observe("a", string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune('A'+i/260)), "x", 1, 2)
+	}
+	if c.Len() > correctorMaxPairs {
+		t.Errorf("tracked %d series, cap %d", c.Len(), correctorMaxPairs)
+	}
+	c.Observe("a", "a0A", "x", 1, 2) // first key again: still updating
+	snap := c.Snapshot()
+	if len(snap) == 0 || snap[0].Samples < 2 {
+		t.Errorf("existing series stopped updating at the cap: %+v", snap[0])
+	}
+}
+
+// TestExpandStatsIdentityAndShape: zero/degenerate distances are identity;
+// positive distances keep cardinality but inflate extent, occupancy and skew
+// monotonically.
+func TestExpandStats(t *testing.T) {
+	st := Analyze(datagen.DenseCluster(datagen.Config{N: 30000, Seed: 7}))
+	for _, d := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := ExpandStats(st, d); !reflectEqualStats(got, st) {
+			t.Errorf("distance %v must be identity", d)
+		}
+	}
+	prevSkew, prevCluster, prevMax := st.SkewCV, st.ClusterFraction, st.MaxCellCount
+	for _, d := range []float64{1, 10, 50, 200} {
+		ex := ExpandStats(st, d)
+		if ex.Count != st.Count || ex.GridDim != st.GridDim || ex.TotalCells != st.TotalCells {
+			t.Fatalf("d=%v: expansion changed cardinality/grid shape", d)
+		}
+		if ex.AvgExtent != st.AvgExtent+d {
+			t.Errorf("d=%v: AvgExtent %v, want %v", d, ex.AvgExtent, st.AvgExtent+d)
+		}
+		for dim := 0; dim < 3; dim++ {
+			if ex.MBB.Side(dim) < st.MBB.Side(dim)+d*0.99 {
+				t.Errorf("d=%v: MBB side %d did not grow by the expansion", d, dim)
+			}
+		}
+		if ex.SkewCV < prevSkew {
+			t.Errorf("d=%v: SkewCV %v not monotone (prev %v)", d, ex.SkewCV, prevSkew)
+		}
+		if ex.ClusterFraction < prevCluster || ex.ClusterFraction > 1 {
+			t.Errorf("d=%v: ClusterFraction %v out of band (prev %v)", d, ex.ClusterFraction, prevCluster)
+		}
+		if ex.MaxCellCount < prevMax || ex.MaxCellCount > ex.Count {
+			t.Errorf("d=%v: MaxCellCount %v out of band (prev %v, count %v)", d, ex.MaxCellCount, prevMax, ex.Count)
+		}
+		total := 0
+		for _, c := range ex.Histogram {
+			total += c
+		}
+		if total != st.OccupiedCells {
+			t.Errorf("d=%v: histogram mass %d, want %d", d, total, st.OccupiedCells)
+		}
+		prevSkew, prevCluster, prevMax = ex.SkewCV, ex.ClusterFraction, ex.MaxCellCount
+	}
+	if empty := ExpandStats(DatasetStats{}, 10); empty.Count != 0 {
+		t.Error("empty stats must stay empty")
+	}
+}
+
+// reflectEqualStats compares two stats values field-for-field.
+func reflectEqualStats(a, b DatasetStats) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// TestExpandedPlanFlipsAndImproves is the distance-join acceptance property:
+// on a heavily expanded workload, planning from expansion-adjusted stats must
+// change the engine choice — and the change must be an improvement on the
+// join that actually runs. Base stats price the massive-cluster pair as a
+// cheap grid job; the d=180 expansion (boxes ~180 units wide against ~77-unit
+// analysis cells) turns grid's dense cells quadratic and the expanded stats
+// say so, flipping the choice to TRANSFORMERS.
+//
+// The improvement is asserted in a deterministic currency — filter work
+// (element MBB tests + steering comparisons) priced at tComp, plus modeled
+// I/O from the deterministic page counters — so the test cannot flake on
+// machine load. Wall-clock agrees: grid's join phase measures 1.1-1.4x
+// slower than transformers' at this expansion (its per-candidate cell walks
+// and dedup probes cost more than the counter gap shows).
+func TestExpandedPlanFlipsAndImproves(t *testing.T) {
+	n := 20000
+	const dist = 180.0
+	ea := datagen.MassiveCluster(datagen.Config{N: n, Seed: 6})
+	eb := datagen.MassiveCluster(datagen.Config{N: n, Seed: 7})
+	a, b := Analyze(ea), Analyze(eb)
+	get := func(name string) engine.Joiner {
+		j, err := engine.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	cfg := Config{Engines: []engine.Joiner{get(engine.Grid), get(engine.Transformers)}}
+
+	base := Plan(a, b, cfg)
+	if base.Engine != engine.Grid {
+		t.Fatalf("base stats chose %q, want grid\nscores: %+v", base.Engine, base.Scores)
+	}
+	expanded := Plan(ExpandStats(a, dist), ExpandStats(b, dist), cfg)
+	if expanded.Engine != engine.Transformers {
+		t.Fatalf("expanded stats chose %q, want transformers\nscores: %+v", expanded.Engine, expanded.Scores)
+	}
+
+	// Execute the distance join both ways and compare the deterministic work.
+	run := func(name string) *engine.Result {
+		res, err := engine.Run(context.Background(), name, ea, eb,
+			engine.Options{Distance: dist, DiscardPairs: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res
+	}
+	work := func(res *engine.Result) time.Duration {
+		cpu := float64(res.Stats.Candidates+res.Stats.MetaComparisons) * tComp
+		return time.Duration(cpu*float64(time.Second)) + res.Stats.JoinIOTime
+	}
+	g, tr := run(engine.Grid), run(engine.Transformers)
+	if g.Stats.Refinements != tr.Stats.Refinements {
+		t.Fatalf("engines disagree on the filtered pair count: grid %d vs transformers %d",
+			g.Stats.Refinements, tr.Stats.Refinements)
+	}
+	if work(g) <= work(tr) {
+		t.Errorf("expanded flip is not an improvement: grid work %v <= transformers %v",
+			work(g), work(tr))
+	}
+}
+
+// TestPlanCustomCandidateSetNoSilentFallback pins the documented behavior for
+// caller-supplied candidate sets: without TRANSFORMERS among the candidates
+// the robust-fallback loop has nothing to fall back to — the cheapest
+// candidate stands, Decision.Fallback stays false, and no engine outside the
+// candidate set is ever selected. With TRANSFORMERS in a custom set the
+// margin rule applies as usual.
+func TestPlanCustomCandidateSetNoSilentFallback(t *testing.T) {
+	a := Analyze(datagen.DenseCluster(datagen.Config{N: 160_000, Seed: 6}))
+	b := Analyze(datagen.DenseCluster(datagen.Config{N: 160_000, Seed: 7}))
+	get := func(name string) engine.Joiner {
+		j, err := engine.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	// Clustered data above the in-memory cap: the full registry would fall
+	// back to TRANSFORMERS here (fixed layouts degrade on clusters).
+	full := Plan(a, b, Config{PrebuiltTransformers: true})
+	if full.Engine != engine.Transformers && full.Engine != engine.ShardTransformers {
+		t.Fatalf("full registry chose %q, want the transformers family", full.Engine)
+	}
+
+	// The same workload restricted to fixed-layout engines: the cheapest of
+	// the candidates must win, with no fallback and no out-of-set engine.
+	restricted := Plan(a, b, Config{Engines: []engine.Joiner{get(engine.PBSM), get(engine.RTree)}})
+	if restricted.Engine != engine.PBSM && restricted.Engine != engine.RTree {
+		t.Fatalf("restricted plan chose %q, outside the candidate set", restricted.Engine)
+	}
+	if restricted.Fallback {
+		t.Error("fallback set without TRANSFORMERS among the candidates")
+	}
+	if restricted.Engine != restricted.Scores[0].Engine {
+		t.Errorf("restricted plan must take the cheapest candidate, got %q vs %q",
+			restricted.Engine, restricted.Scores[0].Engine)
+	}
+	if len(restricted.Scores) != 2 {
+		t.Errorf("scores for %d engines, want the 2 candidates", len(restricted.Scores))
+	}
+
+	// TRANSFORMERS in a custom set keeps its robust-default role: on this
+	// workload the margin rule must hand it the decision over the fragile
+	// candidate even if the fragile one prices slightly cheaper.
+	withT := Plan(a, b, Config{
+		Engines:              []engine.Joiner{get(engine.PBSM), get(engine.Transformers)},
+		PrebuiltTransformers: true,
+	})
+	if withT.Engine != engine.Transformers {
+		t.Errorf("custom set with transformers chose %q\nscores: %+v", withT.Engine, withT.Scores)
+	}
+}

@@ -46,6 +46,16 @@ type Config struct {
 	// statistics-driven ShardTiles selection the engines default to. The
 	// plan must describe the execution the caller will actually run.
 	ShardTiles int
+	// Calibration, when non-nil, replaces the hand-tuned cost constants
+	// with fitted per-engine term multipliers (see Fit and cmd/plannerfit).
+	// Cost terms are always reported raw in Score.Terms so a future refit
+	// regresses against the same feature space.
+	Calibration *Calibration
+	// Correct, when non-nil, returns a multiplicative drift-correction
+	// factor for an engine's final predicted cost — the online corrector's
+	// per-(dataset-pair, engine) EWMA of measured/predicted (see Corrector).
+	// Factors <= 0 (or non-finite) are ignored.
+	Correct func(engine string) float64
 }
 
 // DefaultMaxInMemoryElements is the combined-cardinality cap above which the
@@ -64,15 +74,30 @@ func FitsInMemory(a, b DatasetStats, maxElements int) bool {
 	return a.Count+b.Count <= maxElements
 }
 
+// CostTerm is one named component of an engine's predicted cost, in
+// milliseconds of modeled time, priced at the hand-tuned constants — raw,
+// before calibration multipliers and drift correction. The term vector is the
+// feature row the offline fitter (Fit) regresses measured cost against, so it
+// must stay stable across calibration generations.
+type CostTerm struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
 // Score is one engine's predicted cost.
 type Score struct {
 	Engine string `json:"engine"`
 	// CostMS is the predicted end-to-end cost in milliseconds of modeled
 	// time (in-memory work + modeled disk I/O — the repository's benchmark
-	// currency). math.Inf for engines the planner refuses to auto-select.
+	// currency), after calibration multipliers and drift correction.
+	// math.Inf for engines the planner refuses to auto-select.
 	CostMS float64 `json:"cost_ms"`
 	// Reason explains the dominant term of the prediction.
 	Reason string `json:"reason"`
+	// Terms is the raw decomposition CostMS was assembled from (empty for
+	// excluded engines). Kept off the JSON wire — the planner accuracy
+	// recorder mirrors the chosen engine's terms into its samples instead.
+	Terms []CostTerm `json:"-"`
 }
 
 // MarshalJSON keeps Score wire-safe: encoding/json rejects +Inf, so
@@ -188,11 +213,21 @@ func Plan(a, b DatasetStats, cfg Config) Decision {
 		maxInMem:     maxInMem,
 		shardWorkers: shardWorkers,
 		shardTiles:   cfg.ShardTiles,
+		calib:        cfg.Calibration,
 	}
 
 	scores := make([]Score, 0, len(engines))
 	for _, j := range engines {
-		scores = append(scores, m.score(j))
+		s := m.score(j)
+		// Online drift correction biases the final calibrated cost of each
+		// priced engine; the raw terms stay untouched so refits are stable.
+		if cfg.Correct != nil && !math.IsInf(s.CostMS, 0) && !math.IsNaN(s.CostMS) {
+			if f := cfg.Correct(s.Engine); f > 0 && f != 1 && !math.IsInf(f, 0) && !math.IsNaN(f) {
+				s.CostMS *= f
+				s.Reason = fmt.Sprintf("%s [drift x%.2f]", s.Reason, f)
+			}
+		}
+		scores = append(scores, s)
 	}
 	sort.SliceStable(scores, func(i, j int) bool { return scores[i].CostMS < scores[j].CostMS })
 
@@ -214,6 +249,11 @@ func Plan(a, b DatasetStats, cfg Config) Decision {
 	// hand a skew-fragile engine a workload it degrades on. The sharded
 	// adaptive join is the same algorithm per tile, so it counts as robust:
 	// no fallback is needed when it wins.
+	//
+	// The fallback only exists when TRANSFORMERS is in the candidate set: a
+	// caller-supplied Config.Engines without it has opted out of the robust
+	// default, so the cheapest candidate stands and Decision.Fallback stays
+	// false by construction — there is nothing to fall back to.
 	if !robustEngine(d.Engine) {
 		for _, s := range scores {
 			if s.Engine != engine.Transformers {
@@ -262,6 +302,7 @@ type model struct {
 	maxInMem     int
 	shardWorkers int
 	shardTiles   int
+	calib        *Calibration // nil = hand-tuned constants (all multipliers 1)
 }
 
 func (m model) pages(n int) float64 { return math.Ceil(float64(n) / m.perPage) }
@@ -283,32 +324,41 @@ func (m model) score(j engine.Joiner) Score {
 	case engine.Transformers:
 		// Batched, mostly sequential reads; re-reads at finer granularity
 		// scale with clustering but stay sequential (BENCH_0: <5% random
-		// even on DenseCluster). Robustness: no skew blow-up term.
+		// even on DenseCluster). Robustness: no skew blow-up term. The
+		// adaptive-exploration overhead is folded into the io/cpu terms so
+		// the decomposition sums to the same total the single formula gave.
 		reread := 1.5 + m.cluster
-		io := pagesBoth*reread*m.tio + pagesBoth*0.03*m.seek
-		cpu := (nA + nB) * 12 * tComp
-		cost := (io + cpu) * transformersOverhead
+		io := (pagesBoth*reread*m.tio + pagesBoth*0.03*m.seek) * transformersOverhead
+		cpu := (nA + nB) * 12 * tComp * transformersOverhead
+		build := 0.0
 		if !m.prebuilt {
-			cost += (nA+nB)*tBuildPerElem + pagesBoth*m.tio
+			build = (nA+nB)*tBuildPerElem + pagesBoth*m.tio
 		}
-		return m.ms(j, cost, "batched sequential reads, adapts to skew")
+		return m.priced(j, "batched sequential reads, adapts to skew",
+			term{"io", io}, term{"cpu", cpu}, term{"build", build})
 	case engine.PBSM:
 		// Partition pages interleave on disk, so the join phase is random
 		// reads over both datasets, inflated by replication; skewed tiles
-		// also inflate the in-memory comparisons (§VII-C1/C3).
+		// also inflate the in-memory comparisons (§VII-C1/C3). The
+		// replication surcharge is its own term so the fitter can learn the
+		// blow-up coefficient separately from the base I/O.
 		replication := 1 + 1.5*m.cluster + 0.1*m.skew
-		io := pagesBoth * replication * (m.tio + m.seek)
-		cpu := (nA + nB) * 12 * replication * tComp
-		cost := io + cpu + (nA+nB)*tGridAssignPerElem + pagesBoth*replication*m.tio
-		return m.ms(j, cost, fmt.Sprintf("random partition reads, replication x%.2f", replication))
+		ioBase := pagesBoth*(m.tio+m.seek) + pagesBoth*m.tio
+		return m.priced(j, fmt.Sprintf("random partition reads, replication x%.2f", replication),
+			term{"io", ioBase},
+			term{"io_repl", (replication - 1) * ioBase},
+			term{"cpu", (nA + nB) * 12 * replication * tComp},
+			term{"build", (nA + nB) * tGridAssignPerElem})
 	case engine.RTree:
 		// Synchronized traversal: random node reads; node overlap grows
 		// with clustering and multiplies visited pairs (§VII-A).
 		overlap := 1.1 + 1.2*m.cluster + 0.1*m.skew
-		io := pagesBoth * overlap * (m.tio + m.seek)
-		cpu := (nA + nB) * 20 * overlap * tComp
-		cost := io + cpu + (nA+nB)*tBuildPerElem*1.5 + pagesBoth*m.tio
-		return m.ms(j, cost, fmt.Sprintf("sync traversal, overlap x%.2f", overlap))
+		ioUnit := pagesBoth * (m.tio + m.seek)
+		return m.priced(j, fmt.Sprintf("sync traversal, overlap x%.2f", overlap),
+			term{"io", 1.1 * ioUnit},
+			term{"io_overlap", (overlap - 1.1) * ioUnit},
+			term{"cpu", (nA + nB) * 20 * overlap * tComp},
+			term{"build", (nA+nB)*tBuildPerElem*1.5 + pagesBoth*m.tio})
 	case engine.GIPSY:
 		// One directed walk per guide (smaller-side) element; the pages a
 		// crawl touches (and the candidates it tests) shrink with the
@@ -317,11 +367,11 @@ func (m model) score(j engine.Joiner) Score {
 		nG := math.Min(nA, nB)
 		pagesDense := math.Max(m.pages(m.a.Count), m.pages(m.b.Count))
 		focus := math.Sqrt(m.contrast) // crawl footprint shrinks with contrast
-		walks := nG * tWalk
-		cpu := nG * m.perPage * tComp / focus
-		io := math.Min(pagesDense, nG) * 0.9 * (m.tio + 0.8*m.seek) / focus
-		cost := walks + cpu + io + math.Max(nA, nB)*tBuildPerElem + pagesDense*m.tio
-		return m.ms(j, cost, fmt.Sprintf("per-element walks, contrast %.0fx", m.contrast))
+		return m.priced(j, fmt.Sprintf("per-element walks, contrast %.0fx", m.contrast),
+			term{"walk", nG * tWalk},
+			term{"cpu", nG * m.perPage * tComp / focus},
+			term{"io", math.Min(pagesDense, nG) * 0.9 * (m.tio + 0.8*m.seek) / focus},
+			term{"build", math.Max(nA, nB)*tBuildPerElem + pagesDense*m.tio})
 	case engine.Grid:
 		// Pure CPU: hash the smaller side, probe with the larger. Dense
 		// cells turn probes quadratic, so clustering and skew are the
@@ -329,10 +379,16 @@ func (m model) score(j engine.Joiner) Score {
 		// element extent, which clustered data defeats). The per-probe
 		// factor covers the multi-cell walk and dedup check around each
 		// candidate test, not just the MBB compare (BENCH_2 measures
-		// ~2.3e-7s per probe on uniform 100K).
+		// ~2.3e-7s per probe on uniform 100K). Splitting the blow-up into
+		// cluster and skew terms is what lets the fitter learn the blow-up
+		// coefficients (6 and 0.5) and not just a global tComp multiplier.
 		blowup := 1 + 6*m.cluster + 0.5*m.skew
-		cost := (nA+nB)*1.5e-7 + math.Max(nA, nB)*24*blowup*tComp
-		return m.ms(j, cost, fmt.Sprintf("in-memory hash, dense-cell blow-up x%.2f", blowup))
+		probe := math.Max(nA, nB) * 24 * tComp
+		return m.priced(j, fmt.Sprintf("in-memory hash, dense-cell blow-up x%.2f", blowup),
+			term{"build", (nA + nB) * 1.5e-7},
+			term{"probe", probe},
+			term{"probe_cluster", probe * 6 * m.cluster},
+			term{"probe_skew", probe * 0.5 * m.skew})
 	case engine.InMem:
 		// Pure CPU, cache-resident: quantile stripe partition, then
 		// forward sweeps over SoA arrays. Clustering lengthens the sweep's
@@ -340,14 +396,18 @@ func (m model) score(j engine.Joiner) Score {
 		// comparisons, but far less than grid's dense cells, because the
 		// sweep only visits pairs that genuinely overlap on one axis.
 		blowup := 1 + 2*m.cluster + 0.3*m.skew
-		cost := (nA+nB)*tInMemPartition + math.Max(nA, nB)*4*blowup*tComp
-		return m.ms(j, cost, fmt.Sprintf("cache-resident SoA sweep, overlap blow-up x%.2f", blowup))
+		sweep := math.Max(nA, nB) * 4 * tComp
+		return m.priced(j, fmt.Sprintf("cache-resident SoA sweep, overlap blow-up x%.2f", blowup),
+			term{"partition", (nA + nB) * tInMemPartition},
+			term{"sweep", sweep},
+			term{"sweep_cluster", sweep * 2 * m.cluster},
+			term{"sweep_skew", sweep * 0.3 * m.skew})
 	case engine.Naive:
 		if nA*nB > m.maxRef {
 			return Score{Engine: j.Name(), CostMS: math.Inf(1),
 				Reason: fmt.Sprintf("reference engine, |A|·|B|=%.2g over cap", nA*nB)}
 		}
-		return m.ms(j, nA*nB*3e-9, "nested loop on tiny inputs")
+		return m.priced(j, "nested loop on tiny inputs", term{"product", nA * nB * 3e-9})
 	default:
 		if inner, ok := strings.CutPrefix(j.Name(), engine.ShardPrefix); ok {
 			return m.scoreShard(j, inner)
@@ -363,6 +423,12 @@ func (m model) score(j engine.Joiner) Score {
 // help it. The combined in-memory cap was already applied by the caller (it
 // binds sharded in-memory engines too); the inner is priced past it so the
 // per-tile formula stays meaningful under the cap.
+//
+// Calibration note: the "inner" term is the inner engine's *calibrated* cost
+// (so fitted inner constants propagate into the fan-out price), which makes
+// the shard engines' own multipliers corrections on top of the current inner
+// calibration — refit shard engines from logs recorded under the calibration
+// generation that will serve them.
 func (m model) scoreShard(j engine.Joiner, inner string) Score {
 	ij, err := engine.Get(inner)
 	if err != nil {
@@ -390,15 +456,33 @@ func (m model) scoreShard(j engine.Joiner, inner string) Score {
 	if eff < 1 {
 		eff = 1
 	}
-	cost := innerCost*replication/eff + float64(n)*tShardPartition
-	return m.ms(j, cost, fmt.Sprintf("%s over %d tiles on %d workers, replication x%.2f",
-		inner, k, m.shardWorkers, replication))
+	return m.priced(j, fmt.Sprintf("%s over %d tiles on %d workers, replication x%.2f",
+		inner, k, m.shardWorkers, replication),
+		term{"inner", innerCost * replication / eff},
+		term{"partition", float64(n) * tShardPartition})
 }
 
-func (m model) ms(j engine.Joiner, costSeconds float64, reason string) Score {
-	return Score{
-		Engine: j.Name(),
-		CostMS: float64(time.Duration(costSeconds*float64(time.Second))) / float64(time.Millisecond),
-		Reason: reason,
+// term is one named cost component in the model's native seconds.
+type term struct {
+	name string
+	sec  float64
+}
+
+// priced assembles an engine's Score from its term decomposition: raw terms
+// (ms) for the fitter, and the calibrated total (per-term multipliers from
+// the Calibration, 1 when absent) as CostMS. Zero-valued terms are dropped —
+// the fitter treats a missing term as zero, and keeping them out makes the
+// recorded feature rows smaller and the fit better conditioned.
+func (m model) priced(j engine.Joiner, reason string, terms ...term) Score {
+	s := Score{Engine: j.Name(), Reason: reason}
+	var calibrated float64
+	for _, t := range terms {
+		if t.sec == 0 {
+			continue
+		}
+		s.Terms = append(s.Terms, CostTerm{Name: t.name, MS: t.sec * 1e3})
+		calibrated += t.sec * m.calib.Multiplier(j.Name(), t.name)
 	}
+	s.CostMS = float64(time.Duration(calibrated*float64(time.Second))) / float64(time.Millisecond)
+	return s
 }

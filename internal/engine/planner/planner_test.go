@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/datagen"
@@ -253,7 +254,7 @@ func TestPlanDeterministic(t *testing.T) {
 			t.Fatal("planning is not deterministic")
 		}
 		for j := range again.Scores {
-			if again.Scores[j] != first.Scores[j] {
+			if !reflect.DeepEqual(again.Scores[j], first.Scores[j]) {
 				t.Fatalf("score %d differs across runs", j)
 			}
 		}

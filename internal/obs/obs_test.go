@@ -282,6 +282,98 @@ func TestPlannerRecorderReport(t *testing.T) {
 	}
 }
 
+// TestPlannerRecorderCacheHitsCannotSkew is the regression test for the
+// best-in-hindsight audit: replayed cache hits — however many, however
+// extreme their recorded costs — must leave per-engine means and wins/losses
+// exactly where the executed (miss) samples put them.
+func TestPlannerRecorderCacheHitsCannotSkew(t *testing.T) {
+	shape := func(engine string, pred, meas float64, hit bool) PlannerSample {
+		return PlannerSample{
+			A: DatasetFeatures{Name: "a", Version: 1}, B: DatasetFeatures{Name: "b", Version: 1},
+			Predicate: "intersects", Engine: engine,
+			PredictedMS: pred, MeasuredMS: meas, CacheHit: hit,
+		}
+	}
+	misses := []PlannerSample{
+		shape("grid", 10, 20, false),         // rel err 0.5
+		shape("transformers", 30, 40, false), // rel err 0.25, loses hindsight
+		shape("grid", 30, 20, false),         // rel err 0.5, grid mean 20 wins
+	}
+	// A storm of replays interleaved with the misses: grid replays with an
+	// absurdly cheap measured cost and transformers with an absurdly dear
+	// one, so any leak into the aggregation would flip means AND hindsight.
+	rec := NewPlannerRecorder(64, nil)
+	for i, m := range misses {
+		for j := 0; j < 5; j++ {
+			rec.Record(shape("grid", 10, 0.001, true))
+			rec.Record(shape("transformers", 30, 1e9, true))
+		}
+		_ = i
+		rec.Record(m)
+	}
+	rep := rec.Report()
+	if rep.Samples != 33 || rep.CacheHits != 30 {
+		t.Fatalf("samples=%d hits=%d", rep.Samples, rep.CacheHits)
+	}
+	for _, e := range rep.Engines {
+		switch e.Engine {
+		case "grid":
+			if e.Samples != 2 || e.MeanRelError != 0.5 || e.Wins != 2 || e.Losses != 0 {
+				t.Fatalf("grid skewed by cache hits: %+v", e)
+			}
+		case "transformers":
+			if e.Samples != 1 || e.MeanRelError != 0.25 || e.Wins != 0 || e.Losses != 1 {
+				t.Fatalf("transformers skewed by cache hits: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected engine %+v", e)
+		}
+	}
+}
+
+// TestPlannerRecorderObserver: every recorded sample reaches the observer —
+// the seam the serving path hangs the online corrector on — including cache
+// hits (the observer does its own filtering), and a nil recorder stays inert.
+func TestPlannerRecorderObserver(t *testing.T) {
+	rec := NewPlannerRecorder(4, nil)
+	var seen []PlannerSample
+	rec.SetObserver(func(s PlannerSample) {
+		// Reentrancy: the observer may consult the recorder.
+		_ = rec.Total()
+		seen = append(seen, s)
+	})
+	rec.Record(PlannerSample{Engine: "grid", MeasuredMS: 5})
+	rec.Record(PlannerSample{Engine: "grid", MeasuredMS: 7, CacheHit: true})
+	if len(seen) != 2 || seen[0].MeasuredMS != 5 || !seen[1].CacheHit {
+		t.Fatalf("observer saw %+v", seen)
+	}
+	var nilRec *PlannerRecorder
+	nilRec.SetObserver(func(PlannerSample) { t.Fatal("nil recorder observer fired") })
+	nilRec.Record(PlannerSample{})
+}
+
+// TestPlannerSampleExcludedRoundTrip: exclusion reasons and term vectors ride
+// the NDJSON mirror so offline fitters can tell "excluded" from "missing".
+func TestPlannerSampleExcludedRoundTrip(t *testing.T) {
+	var log bytes.Buffer
+	rec := NewPlannerRecorder(2, &log)
+	rec.Record(PlannerSample{
+		Engine:           "transformers",
+		Scores:           map[string]float64{"transformers": 12},
+		Excluded:         map[string]string{"naive": "reference engine over cap"},
+		Terms:            map[string]float64{"io": 8, "cpu": 4},
+		CorrectionFactor: 1.25,
+		MeasuredMS:       14,
+	})
+	var back PlannerSample
+	if err := json.Unmarshal(log.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Excluded["naive"] == "" || back.Terms["io"] != 8 || back.CorrectionFactor != 1.25 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
 func TestPlannerRecorderSingleEngineNoWinLoss(t *testing.T) {
 	rec := NewPlannerRecorder(8, nil)
 	rec.Record(PlannerSample{Engine: "grid", A: DatasetFeatures{Name: "a"}, B: DatasetFeatures{Name: "b"}, PredictedMS: 1, MeasuredMS: 1})

@@ -33,8 +33,21 @@ type PlannerSample struct {
 	Predicate string             `json:"predicate"`
 	Distance  float64            `json:"distance,omitempty"`
 	Scores    map[string]float64 `json:"scores,omitempty"` // candidate engine → predicted cost (ms)
-	Engine    string             `json:"engine"`           // chosen engine
-	Auto      bool               `json:"auto"`             // planner chose (vs explicit request)
+	// Excluded records the candidates the planner refused to price finitely
+	// (engine → reason), so the training log shows *why* an engine is absent
+	// from Scores instead of silently dropping it. Fitters must ignore these
+	// — an excluded candidate has no usable prediction.
+	Excluded map[string]string `json:"excluded,omitempty"`
+	// Terms is the chosen engine's raw cost-term decomposition in ms, priced
+	// at the hand-tuned constants before calibration and drift correction —
+	// the feature row the offline fitter regresses MeasuredMS against.
+	Terms map[string]float64 `json:"terms,omitempty"`
+	// CorrectionFactor is the online drift-correction multiplier that was
+	// applied to the chosen engine's predicted cost (0 when no corrector ran,
+	// 1 when it had nothing to say).
+	CorrectionFactor float64 `json:"correction_factor,omitempty"`
+	Engine           string  `json:"engine"` // chosen engine
+	Auto             bool    `json:"auto"`   // planner chose (vs explicit request)
 	// PredictedMS is the planner's cost estimate for the chosen engine;
 	// MeasuredMS is the comparable modeled execution cost
 	// (build + join wall + modeled I/O). WallMS is end-to-end request time.
@@ -50,13 +63,14 @@ type PlannerSample struct {
 
 // PlannerRecorder is the bounded sample ring plus an optional NDJSON mirror.
 type PlannerRecorder struct {
-	mu    sync.Mutex
-	buf   []PlannerSample
-	next  int
-	full  bool
-	total int64
-	log   io.Writer
-	enc   *json.Encoder
+	mu       sync.Mutex
+	buf      []PlannerSample
+	next     int
+	full     bool
+	total    int64
+	log      io.Writer
+	enc      *json.Encoder
+	observer func(PlannerSample)
 }
 
 // NewPlannerRecorder holds the last n samples (n<=0 → 1); log, when non-nil,
@@ -70,6 +84,18 @@ func NewPlannerRecorder(n int, log io.Writer) *PlannerRecorder {
 		r.enc = json.NewEncoder(log)
 	}
 	return r
+}
+
+// SetObserver registers a callback invoked with every recorded sample —
+// the read seam feeding the online planner corrector. The observer runs
+// outside the recorder lock (it may consult the recorder) and must do its
+// own filtering (e.g. skip cache hits). Call before serving traffic; the
+// registration is not synchronized against concurrent Record calls.
+func (r *PlannerRecorder) SetObserver(fn func(PlannerSample)) {
+	if r == nil {
+		return
+	}
+	r.observer = fn
 }
 
 // Record appends a sample; nil-safe. Mirror write errors are dropped — the
@@ -89,7 +115,11 @@ func (r *PlannerRecorder) Record(s PlannerSample) {
 	if r.enc != nil {
 		_ = r.enc.Encode(s)
 	}
+	observer := r.observer
 	r.mu.Unlock()
+	if observer != nil {
+		observer(s)
+	}
 }
 
 // Total returns the lifetime sample count.
@@ -184,6 +214,11 @@ func (r *PlannerRecorder) Report() PlannerReport {
 	groups := make(map[groupKey]map[string]*engCost)
 
 	for _, s := range samples {
+		// Cache hits are counted and then skipped BEFORE any aggregation:
+		// a replayed MeasuredMS restates the original execution, so letting
+		// it into the means would weight one real run once per replay, and
+		// letting it into the hindsight groups would hand wins/losses to
+		// whichever engine happened to serve the popular (cached) shape.
 		if s.CacheHit {
 			rep.CacheHits++
 			continue

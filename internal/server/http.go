@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine/planner"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/transformers"
@@ -245,7 +246,16 @@ func NewHandler(svc *Service) http.Handler {
 		if len(samples) > debugPlannerSamples {
 			samples = samples[:debugPlannerSamples]
 		}
-		writeJSON(w, http.StatusOK, debugPlannerResponse{Report: rep, Recent: samples})
+		corr := svc.PlannerCorrections()
+		if len(corr) > debugPlannerSamples {
+			corr = corr[:debugPlannerSamples]
+		}
+		writeJSON(w, http.StatusOK, debugPlannerResponse{
+			Report:      rep,
+			Calibrated:  svc.cfg.PlannerCalibration != nil,
+			Corrections: corr,
+			Recent:      samples,
+		})
 	})
 	return mux
 }
@@ -263,8 +273,13 @@ type debugJoinsResponse struct {
 }
 
 type debugPlannerResponse struct {
-	Report obs.PlannerReport   `json:"report"`
-	Recent []obs.PlannerSample `json:"recent"`
+	Report obs.PlannerReport `json:"report"`
+	// Calibrated reports whether fitted cost constants are loaded;
+	// Corrections lists the online drift corrector's learned factors
+	// (capped like Recent — the largest series, not all of them).
+	Calibrated  bool                 `json:"calibrated"`
+	Corrections []planner.Correction `json:"corrections,omitempty"`
+	Recent      []obs.PlannerSample  `json:"recent"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/engine/planner"
 	"repro/internal/obs"
 )
 
@@ -110,6 +111,15 @@ func newServiceObs(s *Service, cfg Config) *serviceObs {
 		func() float64 { return float64(s.abortedStreams.Load()) })
 	r.GaugeFunc("spatialjoin_slow_joins_total", "Joins recorded in the /debug/joins ring.",
 		func() float64 { return float64(o.ring.Total()) })
+	r.GaugeFunc("spatialjoin_planner_correction_pairs", "Tracked (dataset pair, engine) drift-correction series.",
+		func() float64 { return float64(s.corrector.Len()) })
+	r.GaugeFunc("spatialjoin_planner_calibrated", "1 when a fitted planner calibration is loaded, 0 otherwise.",
+		func() float64 {
+			if s.cfg.PlannerCalibration != nil {
+				return 1
+			}
+			return 0
+		})
 	r.GaugeFunc("go_goroutines", "Current goroutine count.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	r.GaugeFunc("go_heap_alloc_bytes", "Live heap allocation.",
@@ -140,6 +150,10 @@ func (s *Service) SlowJoins() *obs.JoinRing { return s.obs.ring }
 
 // PlannerRecorder exposes the planner accuracy recorder (/debug/planner).
 func (s *Service) PlannerRecorder() *obs.PlannerRecorder { return s.obs.recorder }
+
+// PlannerCorrections snapshots the online drift corrector's learned
+// per-(dataset pair, engine) factors, sorted (/debug/planner).
+func (s *Service) PlannerCorrections() []planner.Correction { return s.corrector.Snapshot() }
 
 // SlowJoinThreshold reports the resolved slow-join ring threshold.
 func (s *Service) SlowJoinThreshold() time.Duration { return s.obs.slow }

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/engine/planner"
+	"repro/transformers"
+)
+
+// TestServiceDistanceJoinPlanning: the planner must price the join that
+// actually runs. A distance join expands every box by distance/2 per side,
+// so the auto decision over base statistics (a tight clustered workload the
+// in-memory engine wins) must differ from the decision at a large distance,
+// where expansion multiplies the in-memory engine's candidate work past the
+// catalog-resident TRANSFORMERS indexes. Before expansion-adjusted planning
+// both requests resolved identically — the bug this PR fixes.
+func TestServiceDistanceJoinPlanning(t *testing.T) {
+	svc := NewService(Config{Workers: 1, Parallelism: 1})
+	ctx := context.Background()
+	if _, err := svc.AddDataset(ctx, "ma", datagen.MassiveCluster(datagen.Config{N: 20000, Seed: 6})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddDataset(ctx, "mb", datagen.MassiveCluster(datagen.Config{N: 20000, Seed: 7})); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := svc.planJoin("ma", "mb", JoinParams{Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := svc.planJoin("ma", "mb", JoinParams{Algorithm: AlgorithmAuto, Distance: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.algo != engine.InMem {
+		t.Fatalf("base join chose %q, want inmem\nscores: %+v", base.algo, base.scores)
+	}
+	if far.algo != engine.Transformers {
+		t.Fatalf("distance-300 join chose %q, want transformers\nscores: %+v", far.algo, far.scores)
+	}
+	if base.predictedMS <= 0 || far.predictedMS <= 0 {
+		t.Fatalf("predictions must be finite and positive: base %v, far %v", base.predictedMS, far.predictedMS)
+	}
+	// Expansion must also raise every engine's predicted cost, not just
+	// reorder them: the same work over denser, fatter boxes cannot get
+	// cheaper.
+	baseByEngine := make(map[string]float64, len(base.scores))
+	for _, sc := range base.scores {
+		baseByEngine[sc.Engine] = sc.CostMS
+	}
+	for _, sc := range far.scores {
+		if b, ok := baseByEngine[sc.Engine]; ok && sc.CostMS < b {
+			t.Fatalf("engine %s priced cheaper at distance 300 (%v) than at 0 (%v)", sc.Engine, sc.CostMS, b)
+		}
+	}
+}
+
+// TestServiceRecordsExcludedCandidates: candidates the planner refuses to
+// price finitely (here: naive over its |A|·|B| cap) must land in the
+// sample's Excluded map with their reason, and the chosen engine's raw term
+// decomposition must ride along for the offline fitter.
+func TestServiceRecordsExcludedCandidates(t *testing.T) {
+	svc := NewService(Config{})
+	ctx := context.Background()
+	if _, err := svc.AddDataset(ctx, "a", transformers.GenerateUniform(3000, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddDataset(ctx, "b", transformers.GenerateUniform(3000, 62)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto, NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	samples := svc.PlannerRecorder().Snapshot()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	// 3000·3000 = 9e6 > the 4e6 reference cap: naive must be excluded with
+	// a reason, and must not appear among the finite scores.
+	if s.Excluded[engine.Naive] == "" {
+		t.Fatalf("sample lacks an exclusion reason for naive: %+v", s.Excluded)
+	}
+	if _, ok := s.Scores[engine.Naive]; ok {
+		t.Fatalf("naive is both scored and excluded: %+v", s.Scores)
+	}
+	if len(s.Terms) == 0 {
+		t.Fatalf("sample lacks the chosen engine's term decomposition: %+v", s)
+	}
+	var sum float64
+	for name, ms := range s.Terms {
+		if ms < 0 {
+			t.Fatalf("negative term %s=%v", name, ms)
+		}
+		sum += ms
+	}
+	if sum <= 0 {
+		t.Fatalf("term decomposition sums to %v, want > 0", sum)
+	}
+	// First join ever: the corrector had no history, so the factor that was
+	// applied is exactly 1 (recorded as such — 0 would mean no corrector).
+	if s.CorrectionFactor != 1 {
+		t.Fatalf("first join's correction factor = %v, want 1", s.CorrectionFactor)
+	}
+}
+
+// TestServiceCorrectorLearnsFromJoins: executed joins must feed the online
+// corrector through the recorder's observer, bias subsequent plans, and
+// surface in the corrections snapshot; cache hits must not train it.
+func TestServiceCorrectorLearnsFromJoins(t *testing.T) {
+	svc := NewService(Config{})
+	ctx := context.Background()
+	if _, err := svc.AddDataset(ctx, "a", transformers.GenerateUniform(2000, 63)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddDataset(ctx, "b", transformers.GenerateUniform(2000, 64)); err != nil {
+		t.Fatal(err)
+	}
+	var algo string
+	for i := 0; i < 3; i++ {
+		out, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo = out.Summary.Algorithm
+	}
+	corr := svc.PlannerCorrections()
+	if len(corr) == 0 {
+		t.Fatal("corrector learned nothing from three executed joins")
+	}
+	var got *planner.Correction
+	for i := range corr {
+		if corr[i].A == "a" && corr[i].B == "b" && corr[i].Engine == algo {
+			got = &corr[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no correction series for (a, b, %s): %+v", algo, corr)
+	}
+	if got.Samples != 3 {
+		t.Fatalf("correction series has %d samples, want 3", got.Samples)
+	}
+	if got.Factor <= 0 {
+		t.Fatalf("correction factor %v, want > 0", got.Factor)
+	}
+
+	// A fresh plan for the pair must carry the learned factor (and record it
+	// in its sample).
+	jp, err := svc.planJoin("a", "b", JoinParams{Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp.algo == algo && jp.correction != got.Factor {
+		t.Fatalf("plan carries correction %v, corrector says %v", jp.correction, got.Factor)
+	}
+
+	// Cache hits replay old measurements and must not train the corrector.
+	if _, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto}); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second cached join was not served from cache")
+	}
+	after := svc.PlannerCorrections()
+	for i := range after {
+		if after[i].A == "a" && after[i].B == "b" && after[i].Engine == algo {
+			// 3 NoCache joins + 1 cache filler = 4 training samples; the
+			// cache hit must not be a 5th.
+			if after[i].Samples != 4 {
+				t.Fatalf("correction series has %d samples after a cache hit, want 4", after[i].Samples)
+			}
+			return
+		}
+	}
+	t.Fatalf("correction series vanished: %+v", after)
+}
+
+// TestServiceAppliesCalibration: a loaded calibration must change the auto
+// decision end to end — inflating the winning in-memory engines 50x makes
+// the planner route the same pair elsewhere.
+func TestServiceAppliesCalibration(t *testing.T) {
+	elemsA := transformers.GenerateUniform(3000, 65)
+	elemsB := transformers.GenerateUniform(3000, 66)
+	resolve := func(calib *planner.Calibration) string {
+		svc := NewService(Config{PlannerCalibration: calib})
+		ctx := context.Background()
+		if _, err := svc.AddDataset(ctx, "a", append([]transformers.Element(nil), elemsA...)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.AddDataset(ctx, "b", append([]transformers.Element(nil), elemsB...)); err != nil {
+			t.Fatal(err)
+		}
+		jp, err := svc.planJoin("a", "b", JoinParams{Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jp.algo
+	}
+	plain := resolve(nil)
+	if plain != engine.InMem {
+		t.Fatalf("uncalibrated service chose %q, want inmem", plain)
+	}
+	inflate := map[string]float64{"partition": 50, "sweep": 50, "sweep_cluster": 50, "sweep_skew": 50}
+	calib := &planner.Calibration{Engines: map[string]planner.EngineCalibration{
+		engine.InMem:      {Multipliers: inflate},
+		engine.ShardInMem: {Multipliers: map[string]float64{"inner": 50, "partition": 50}},
+	}}
+	if err := calib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	calibrated := resolve(calib)
+	if calibrated == plain {
+		t.Fatalf("50x-inflated calibration did not change the decision from %q", plain)
+	}
+}

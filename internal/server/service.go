@@ -92,6 +92,11 @@ type Config struct {
 	// PlannerLog, when non-nil, receives every planner accuracy sample as
 	// one NDJSON line (the -planner-log file).
 	PlannerLog io.Writer
+	// PlannerCalibration, when non-nil, replaces the planner's hand-tuned
+	// cost constants with fitted per-engine term multipliers (the
+	// -planner-calibration file, produced by cmd/plannerfit from a
+	// -planner-log recording).
+	PlannerCalibration *planner.Calibration
 }
 
 // Resource-bound defaults.
@@ -148,6 +153,11 @@ type Service struct {
 	// obs is the observability state: metric registry, slow-join ring,
 	// planner accuracy recorder. Always non-nil.
 	obs *serviceObs
+
+	// corrector tracks per-(dataset pair, engine) measured/predicted drift
+	// from executed joins and biases future Plan calls. Always non-nil; fed
+	// by the planner recorder's observer hook.
+	corrector *planner.Corrector
 }
 
 // tenantCounters tallies one tenant's resilience events at the service layer.
@@ -198,8 +208,18 @@ func NewService(cfg Config) *Service {
 		start:       time.Now(),
 		engineJoins: make(map[string]uint64),
 		tenants:     make(map[string]*tenantCounters),
+		corrector:   planner.NewCorrector(),
 	}
 	s.obs = newServiceObs(s, cfg)
+	// Every executed (non-cached) sample teaches the corrector its engine's
+	// measured/predicted ratio for that dataset pair; Observe ignores
+	// unpriced samples (PredictedMS < 0) on its own.
+	s.obs.recorder.SetObserver(func(ps obs.PlannerSample) {
+		if ps.CacheHit {
+			return
+		}
+		s.corrector.Observe(ps.A.Name, ps.B.Name, ps.Engine, ps.PredictedMS, ps.MeasuredMS)
+	})
 	cat.SetBuildObserver(func(d time.Duration, ok bool) {
 		outcome := "ok"
 		if !ok {
@@ -353,15 +373,46 @@ func joinKey(a, b string, va, vb uint64, distance float64, algorithm string, sha
 	return key
 }
 
+// plannedStats fetches both inputs' cached statistics and adjusts them for
+// the distance predicate the join will actually run: a distance join expands
+// every box by distance/2 per side before intersecting, so the planner must
+// price the expanded workload, not the base one. Identity at distance 0.
+func (s *Service) plannedStats(a, b string, distance float64) (planner.DatasetStats, planner.DatasetStats, error) {
+	sa, _, err := s.cat.DatasetStats(a)
+	if err != nil {
+		return planner.DatasetStats{}, planner.DatasetStats{}, err
+	}
+	sb, _, err := s.cat.DatasetStats(b)
+	if err != nil {
+		return planner.DatasetStats{}, planner.DatasetStats{}, err
+	}
+	return planner.ExpandStats(sa, distance), planner.ExpandStats(sb, distance), nil
+}
+
+// plannerConfig assembles one join's planner configuration: the serving
+// economics (prebuilt TRANSFORMERS, pinned tiles, resolved workers) plus the
+// service's fitted calibration and the pair's learned drift corrections.
+func (s *Service) plannerConfig(a, b string, shardTiles, workers int) planner.Config {
+	return planner.Config{
+		PageSize:             s.cfg.PageSize,
+		PrebuiltTransformers: true,
+		ShardTiles:           shardTiles,
+		ShardWorkers:         workers,
+		Calibration:          s.cfg.PlannerCalibration,
+		Correct:              s.corrector.Bind(a, b),
+	}
+}
+
 // resolveAlgorithm turns the request's algorithm field into a concrete
 // engine name, consulting the planner on "auto". The planner prices the
 // TRANSFORMERS engine without a build phase (its indexes live in the
 // catalog) while every other engine pays a per-request build — the serving
 // economics, not just the algorithmic ones. The plan must describe the
 // execution that would actually run: a pinned shard tile count is priced as
-// pinned, and shard fan-out is priced at this join's resolved worker count
-// (workers <= 0 means all cores, the planner's default budget).
-func (s *Service) resolveAlgorithm(a, b string, requested string, shardTiles, workers int) (string, *PlannerInfo, error) {
+// pinned, shard fan-out is priced at this join's resolved worker count
+// (workers <= 0 means all cores, the planner's default budget), and a
+// distance join is priced over distance-expanded statistics.
+func (s *Service) resolveAlgorithm(a, b string, requested string, distance float64, shardTiles, workers int) (string, *PlannerInfo, error) {
 	algo := requested
 	if algo == "" {
 		algo = s.cfg.DefaultAlgorithm
@@ -372,11 +423,7 @@ func (s *Service) resolveAlgorithm(a, b string, requested string, shardTiles, wo
 		}
 		return algo, nil, nil
 	}
-	sa, _, err := s.cat.DatasetStats(a)
-	if err != nil {
-		return "", nil, err
-	}
-	sb, _, err := s.cat.DatasetStats(b)
+	sa, sb, err := s.plannedStats(a, b, distance)
 	if err != nil {
 		return "", nil, err
 	}
@@ -384,12 +431,7 @@ func (s *Service) resolveAlgorithm(a, b string, requested string, shardTiles, wo
 	if workers < 0 {
 		workers = 0 // all cores: the planner's own default budget
 	}
-	d := planner.Plan(sa, sb, planner.Config{
-		PageSize:             s.cfg.PageSize,
-		PrebuiltTransformers: true,
-		ShardTiles:           shardTiles,
-		ShardWorkers:         workers,
-	})
+	d := planner.Plan(sa, sb, s.plannerConfig(a, b, shardTiles, workers))
 	return d.Engine, &PlannerInfo{Requested: AlgorithmAuto, Fallback: d.Fallback, ShardTiles: d.ShardTiles, Scores: d.Scores}, nil
 }
 
@@ -432,6 +474,13 @@ type joinPlan struct {
 	// captured for explicit requests too, not just "auto".
 	predictedMS float64
 	scores      []planner.Score
+	// excluded names the candidates the planner refused to price finitely
+	// (engine → reason); terms is the chosen engine's raw cost-term
+	// decomposition and correction the drift factor applied to its score —
+	// the planner sample fields the offline fitter trains on.
+	excluded   map[string]string
+	terms      map[string]float64
+	correction float64
 }
 
 // planJoin validates the request and resolves algorithm, fan-out and dataset
@@ -461,7 +510,7 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 	// deterministic per dataset version, so auto requests share cache
 	// entries with explicit requests for the same engine.
 	var err error
-	jp.algo, jp.plan, err = s.resolveAlgorithm(a, b, p.Algorithm, pin, jp.parallelism)
+	jp.algo, jp.plan, err = s.resolveAlgorithm(a, b, p.Algorithm, p.Distance, pin, jp.parallelism)
 	if err != nil {
 		return joinPlan{}, err
 	}
@@ -477,10 +526,8 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 		if jp.execTiles == 0 {
 			if jp.plan != nil {
 				jp.execTiles = jp.plan.ShardTiles
-			} else if sa, _, err := s.cat.DatasetStats(a); err == nil {
-				if sb, _, err := s.cat.DatasetStats(b); err == nil {
-					jp.execTiles = planner.ShardTiles(sa, sb)
-				}
+			} else if sa, sb, err := s.plannedStats(a, b, p.Distance); err == nil {
+				jp.execTiles = planner.ShardTiles(sa, sb)
 			}
 		}
 	}
@@ -496,7 +543,7 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 	if jp.vb, err = s.cat.Version(b); err != nil {
 		return joinPlan{}, err
 	}
-	s.priceJoin(a, b, &jp)
+	s.priceJoin(a, b, p.Distance, &jp)
 	return jp, nil
 }
 
@@ -506,18 +553,14 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 // capacity — such a join runs alone) while typical joins stay at unit price.
 // Auto requests reuse the plan already computed; explicit requests price from
 // the same cached statistics, and price at 1 when statistics are missing.
-func (s *Service) priceJoin(a, b string, jp *joinPlan) {
+func (s *Service) priceJoin(a, b string, distance float64, jp *joinPlan) {
 	jp.cost = 1
 	jp.predictedMS = -1
 	scores := []planner.Score(nil)
 	if jp.plan != nil {
 		scores = jp.plan.Scores
 	} else {
-		sa, _, err := s.cat.DatasetStats(a)
-		if err != nil {
-			return
-		}
-		sb, _, err := s.cat.DatasetStats(b)
+		sa, sb, err := s.plannedStats(a, b, distance)
 		if err != nil {
 			return
 		}
@@ -525,14 +568,24 @@ func (s *Service) priceJoin(a, b string, jp *joinPlan) {
 		if workers < 0 {
 			workers = 0
 		}
-		scores = planner.Plan(sa, sb, planner.Config{
-			PageSize:             s.cfg.PageSize,
-			PrebuiltTransformers: true,
-			ShardTiles:           jp.keyTiles,
-			ShardWorkers:         workers,
-		}).Scores
+		scores = planner.Plan(sa, sb, s.plannerConfig(a, b, jp.keyTiles, workers)).Scores
 	}
 	jp.scores = scores
+	for _, sc := range scores {
+		// Non-finitely priced candidates are recorded with their reason, not
+		// silently dropped: the accuracy log must show *why* an engine is
+		// absent from the score map (fitters ignore excluded candidates).
+		if math.IsInf(sc.CostMS, 0) || math.IsNaN(sc.CostMS) {
+			if jp.excluded == nil {
+				jp.excluded = make(map[string]string)
+			}
+			reason := sc.Reason
+			if reason == "" {
+				reason = "non-finite predicted cost"
+			}
+			jp.excluded[sc.Engine] = reason
+		}
+	}
 	for _, sc := range scores {
 		if sc.Engine != jp.algo {
 			continue
@@ -541,6 +594,13 @@ func (s *Service) priceJoin(a, b string, jp *joinPlan) {
 			jp.cost = 1 << 20 // planner refused to price it: full pool
 		} else {
 			jp.predictedMS = sc.CostMS
+			if len(sc.Terms) > 0 {
+				jp.terms = make(map[string]float64, len(sc.Terms))
+				for _, t := range sc.Terms {
+					jp.terms[t.Name] = t.MS
+				}
+			}
+			jp.correction = s.corrector.Factor(a, b, jp.algo)
 			if c := 1 + int(sc.CostMS/s.cfg.CostUnitMS); c > jp.cost {
 				jp.cost = c
 			}
@@ -743,6 +803,9 @@ func (s *Service) recordPlannerSample(ctx context.Context, a, b string, p JoinPa
 	}
 	sample.A = s.datasetFeatures(a, jp.va)
 	sample.B = s.datasetFeatures(b, jp.vb)
+	sample.Excluded = jp.excluded
+	sample.Terms = jp.terms
+	sample.CorrectionFactor = jp.correction
 	if len(jp.scores) > 0 {
 		sample.Scores = make(map[string]float64, len(jp.scores))
 		for _, sc := range jp.scores {
