@@ -14,6 +14,11 @@
 //	POST /datasets       upload {"name","elements":[...]} or generate
 //	                     {"name","generate":{"kind","n","seed"}}; builds the index
 //	                     and caches the planner's dataset statistics
+//	POST /datasets/{name}/append
+//	                     land {"elements":[...]} in the dataset's delta buffer:
+//	                     visible to joins immediately (no rebuild), compacted
+//	                     into the main index by a background merge once the
+//	                     delta exceeds -delta-max-elements
 //	POST /join           {"a","b","algorithm"?,"stream"?,"include_pairs"?,"parallelism"?}
 //	                     algorithm: any registered engine, or "auto" (the
 //	                     statistics-driven planner picks; the response reports
@@ -94,6 +99,7 @@ func main() {
 	plannerSamples := flag.Int("planner-samples", 0, "planner accuracy ring capacity (0 = default)")
 	plannerLog := flag.String("planner-log", "", "append every planner accuracy sample to this file as NDJSON")
 	plannerCalib := flag.String("planner-calibration", "", "load fitted planner cost constants from this JSON file (cmd/plannerfit output)")
+	deltaMax := flag.Int("delta-max-elements", 0, "append-delta size that triggers a background merge into the main index (0 = default 8192, negative = never merge automatically)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 	flag.Parse()
 
@@ -119,6 +125,7 @@ func main() {
 		DefaultTimeout:      *defaultTimeout,
 		DebugJoins:          *debugJoins,
 		PlannerSamples:      *plannerSamples,
+		DeltaMaxElements:    *deltaMax,
 	}
 	if *slowJoinMS < 0 {
 		cfg.SlowJoinThreshold = -1 // record every join in /debug/joins

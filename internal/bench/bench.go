@@ -116,6 +116,13 @@ type Sample struct {
 	// the effective cut and the boundary replication it cost.
 	InMemStripes    int `json:"inmem_stripes,omitempty"`
 	InMemReplicated int `json:"inmem_replicated,omitempty"`
+
+	// Incremental-ingest detail, recorded by the "deltas" experiment: the
+	// append landing rate into the catalog's delta buffer, the delta size a
+	// composed join carried, and the merge compaction's wall time.
+	AppendRatePerSec float64 `json:"append_rate_per_sec,omitempty"`
+	DeltaElements    int     `json:"delta_elements,omitempty"`
+	MergeWallMS      float64 `json:"merge_wall_ms,omitempty"`
 }
 
 // ms converts a duration to fractional milliseconds for JSON output.
@@ -319,6 +326,12 @@ func Experiments() []Experiment {
 			Paper:       "extension (self-correcting planner)",
 			Description: "planner accuracy on held-out executions: hand-tuned constants vs fitted calibration + online drift correction",
 			Run:         runPlannerFit,
+		},
+		{
+			ID:          "deltas",
+			Paper:       "extension (incremental ingest)",
+			Description: "append throughput into the delta buffer, merge compaction cost, and delta-composed vs merged join cost across delta fractions",
+			Run:         runDeltas,
 		},
 	}
 }

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/transformers"
+)
+
+// The "deltas" experiment measures the incremental-ingest path end to end:
+// how fast appends land in the catalog's delta buffer, what a background
+// merge compaction costs, and how much a delta-composed join (base×base via
+// the planned engine plus the delta sub-joins through the in-memory engine)
+// pays over joining the same data fully merged into the main index. The
+// delta fractions sweep the regime the merge threshold polices: small deltas
+// should join for near-merged cost, large ones should show the growing
+// sub-join surcharge that justifies compaction.
+
+// deltaFractions are the delta sizes measured, as fractions of the base
+// dataset. 25% is far past any sane -delta-max-elements setting — it bounds
+// the surcharge curve from above.
+var deltaFractions = []float64{0.01, 0.05, 0.25}
+
+// deltaAppendBatch is the element count per Append call in the throughput
+// measurement — small enough to exercise per-call overhead, large enough
+// that the measurement is not dominated by it.
+const deltaAppendBatch = 512
+
+func runDeltas(cfg Config) error {
+	n := cfg.scaled(10 * paperM)
+	algos := cfg.filterAlgos([]string{engine.Transformers, engine.InMem})
+
+	// The overlap-heavy clustered pairing of the cross-engine comparison:
+	// join cost here is dominated by real pair work, so the composed
+	// sub-joins' surcharge is measured against a non-trivial baseline.
+	baseA := transformers.GenerateMassiveCluster(n, cfg.Seed+81)
+	baseB := transformers.GenerateMassiveCluster(n, cfg.Seed+82)
+	// The append pool: distinct IDs so delta-composed pair sets stay
+	// disjoint from base×base, like real late-arriving data.
+	pool := transformers.GenerateMassiveCluster(n/2, cfg.Seed+83)
+	for i := range pool {
+		pool[i].ID += 1 << 32
+	}
+
+	// Append throughput + merge cost, against the catalog directly (no HTTP,
+	// no admission control — this measures the delta buffer itself).
+	cat := server.NewCatalog(0, 0)
+	cat.Put("a", append([]transformers.Element(nil), baseA...))
+	appendStart := time.Now()
+	appended := 0
+	for appended < len(pool) {
+		batch := pool[appended:min(appended+deltaAppendBatch, len(pool)):len(pool)]
+		if _, err := cat.Append("a", append([]transformers.Element(nil), batch...)); err != nil {
+			return err
+		}
+		appended += len(batch)
+	}
+	appendWall := time.Since(appendStart)
+	rate := float64(appended) / appendWall.Seconds()
+	mergeStart := time.Now()
+	merged, err := cat.MergeDelta(context.Background(), "a")
+	if err != nil {
+		return err
+	}
+	mergeWall := time.Since(mergeStart)
+	cfg.record(Sample{
+		Algorithm:        "catalog",
+		Workload:         "append-throughput",
+		Results:          uint64(appended),
+		DeltaElements:    appended,
+		AppendRatePerSec: rate,
+		MergeWallMS:      ms(mergeWall),
+	})
+	at := &table{header: []string{"batch", "appended", "append_wall", "elems/s", "merge_wall", "merged"}}
+	at.addRow(fmt.Sprintf("%d", deltaAppendBatch), fmt.Sprintf("%d", appended), dur(appendWall),
+		count(uint64(rate)), dur(mergeWall), fmt.Sprintf("%d", merged))
+	fmt.Fprintln(cfg.Out, "append throughput (catalog delta buffer) and merge compaction:")
+	at.write(cfg.Out)
+	fmt.Fprintln(cfg.Out)
+
+	// Join cost, delta-composed vs merged, per engine and delta fraction.
+	jt := &table{header: []string{"engine", "delta", "delta_join", "merged_join", "overhead", "results"}}
+	for _, algo := range algos {
+		for _, f := range deltaFractions {
+			dn := int(f * float64(n))
+			if dn < 1 {
+				dn = 1
+			}
+			if dn > len(pool) {
+				dn = len(pool)
+			}
+			delta := pool[:dn:dn]
+
+			deltaWall, deltaRes, err := timeServiceJoin(cfg, algo, baseA, baseB, delta)
+			if err != nil {
+				return err
+			}
+			mergedWall, mergedRes, err := timeServiceJoin(cfg, algo,
+				append(append([]transformers.Element(nil), baseA...), delta...), baseB, nil)
+			if err != nil {
+				return err
+			}
+			if deltaRes != mergedRes {
+				return fmt.Errorf("deltas: %s at %.0f%% delta: composed join found %d pairs, merged %d",
+					algo, f*100, deltaRes, mergedRes)
+			}
+			label := fmt.Sprintf("%.0f%%", f*100)
+			cfg.record(Sample{Algorithm: algo, Workload: "delta-" + label,
+				JoinWallMS: ms(deltaWall), Results: deltaRes, DeltaElements: dn})
+			cfg.record(Sample{Algorithm: algo, Workload: "merged-" + label,
+				JoinWallMS: ms(mergedWall), Results: mergedRes})
+			overhead := "n/a"
+			if mergedWall > 0 {
+				overhead = fmt.Sprintf("%.2fx", float64(deltaWall)/float64(mergedWall))
+			}
+			jt.addRow(algo, label, dur(deltaWall), dur(mergedWall), overhead, count(deltaRes))
+		}
+	}
+	fmt.Fprintln(cfg.Out, "join cost: delta-composed vs fully merged (same combined data, uncached):")
+	jt.write(cfg.Out)
+	return nil
+}
+
+// timeServiceJoin measures one uncached join through the serving layer:
+// base datasets registered (and indexed) up front, the delta appended
+// without a rebuild, then the join timed on its own. Automatic merging is
+// disabled so the composed execution is what gets measured.
+func timeServiceJoin(cfg Config, algo string, a, b, delta []transformers.Element) (time.Duration, uint64, error) {
+	svc := server.NewService(server.Config{Workers: 2, DeltaMaxElements: -1, Parallelism: cfg.Parallel})
+	ctx := context.Background()
+	if _, err := svc.AddDataset(ctx, "a", append([]transformers.Element(nil), a...)); err != nil {
+		return 0, 0, err
+	}
+	if _, err := svc.AddDataset(ctx, "b", append([]transformers.Element(nil), b...)); err != nil {
+		return 0, 0, err
+	}
+	if len(delta) > 0 {
+		if _, err := svc.Append(ctx, "a", append([]transformers.Element(nil), delta...)); err != nil {
+			return 0, 0, err
+		}
+	}
+	start := time.Now()
+	out, err := svc.Join(ctx, "a", "b", server.JoinParams{Algorithm: algo, NoCache: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), out.Summary.Results, nil
+}

@@ -133,13 +133,19 @@ func TestJoinAutoCacheSharing(t *testing.T) {
 	if second.Summary.Planner != nil {
 		t.Error("explicit hit must not inherit the filler's planner report")
 	}
-	// A second auto request hits too, with its own planner report.
+	// A second auto request carries its own planner report, and when it
+	// resolves to the same engine (the first join trained the drift
+	// corrector, which may flip a near-tied ranking) it hits the shared
+	// entry.
 	third, err := svc.Join(context.Background(), "a", "b", JoinParams{Algorithm: AlgorithmAuto})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !third.Cached || third.Summary.Planner == nil {
-		t.Errorf("auto hit: cached=%v planner=%v", third.Cached, third.Summary.Planner)
+	if third.Summary.Planner == nil {
+		t.Error("auto request lost its planner report")
+	}
+	if third.Summary.Algorithm == resolved && !third.Cached {
+		t.Errorf("auto request re-resolved to %s but missed the shared entry", resolved)
 	}
 }
 

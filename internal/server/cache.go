@@ -20,19 +20,26 @@ const (
 
 // JoinKey identifies one join result: the dataset pair (order matters — it
 // fixes the A/B orientation of the pairs), the predicate, the distance
-// parameter, the resolved engine, and the dataset versions at execution
-// time. Replacing a dataset bumps its version, so stale results can never be
-// served; they age out of the LRU order naturally. "auto" requests are keyed
-// by the engine the planner resolved to — the decision is deterministic per
-// dataset version, so auto and explicit requests share cache entries.
+// parameter, the resolved engine, and the dataset versions and delta epochs
+// at execution time. Replacing or merging a dataset bumps its version and an
+// append bumps its delta epoch, so stale results can never be served; they
+// age out of the LRU order naturally. "auto" requests are keyed by the
+// engine the planner resolved to — the decision is deterministic per
+// (version, epoch), so auto and explicit requests share cache entries.
 type JoinKey struct {
 	A, B               string
 	VersionA, VersionB uint64
-	Predicate          string // "intersects" or "distance"
-	Distance           float64
-	Algorithm          string // resolved engine name
-	// ShardTiles is the requested fan-out of a sharded engine (0 = auto).
-	// The pair set is invariant in it, but the cached cost summary is not.
+	// DeltaEpochA/DeltaEpochB are the inputs' append-buffer epochs: an
+	// append bumps the epoch without touching the version, so cached
+	// results from before the append can never be served after it.
+	DeltaEpochA, DeltaEpochB uint64
+	Predicate                string // "intersects" or "distance"
+	Distance                 float64
+	Algorithm                string // resolved engine name
+	// ShardTiles is the executed fan-out of a sharded engine — the resolved
+	// tile count, not the request's pin — so an explicit request at K and an
+	// auto request that resolves to K share one entry. The pair set is
+	// invariant in it, but the cached cost summary is not.
 	ShardTiles int
 }
 
@@ -68,12 +75,32 @@ type JoinSummary struct {
 	// join: tiles, replication, dedup drops, worker utilization (per-tile
 	// detail included).
 	Shard *engine.ShardStats `json:"shard,omitempty"`
+	// Delta reports the append-buffer composition when either input carried
+	// a non-empty delta at execution time. Cached — it describes the keyed
+	// content, which pins the epochs it was composed at.
+	Delta *DeltaSummary `json:"delta,omitempty"`
 	// Planner is present when the request asked for "auto".
 	Planner *PlannerInfo `json:"planner,omitempty"`
 	// Stale marks a result served from a last-good dataset generation
 	// while the current one was failing to build. Per-request, never
 	// cached (the cache key pins the versions actually served).
 	Stale bool `json:"stale,omitempty"`
+}
+
+// DeltaSummary reports how one executed join composed its inputs' append
+// deltas: the delta sizes at execution time, and — on the prebuilt
+// TRANSFORMERS path — how many inmem sub-joins ran and what they
+// contributed. Engines that index per request fold the delta into their
+// inputs instead, so SubJoins stays 0 and the sub-join pair count is not
+// separable from the base result.
+type DeltaSummary struct {
+	ElementsA int `json:"elements_a"`
+	ElementsB int `json:"elements_b"`
+	// SubJoins counts the extra inmem sub-joins the composition ran
+	// (base×delta, delta×base, delta×delta — empty sides are skipped).
+	SubJoins int `json:"sub_joins,omitempty"`
+	// Pairs counts the result pairs the sub-joins contributed.
+	Pairs uint64 `json:"pairs,omitempty"`
 }
 
 // CachedJoin is one cached result.

@@ -35,6 +35,10 @@ import (
 // uploaded (or was deleted).
 var ErrUnknownDataset = errors.New("server: unknown dataset")
 
+// ErrMergeInFlight is returned by MergeDelta when another merge of the same
+// dataset is still running — merges are single-flight per dataset.
+var ErrMergeInFlight = errors.New("server: delta merge already in flight")
+
 // DefaultMaxIndexes caps the built indexes the catalog keeps before evicting
 // cold ones.
 const DefaultMaxIndexes = 64
@@ -76,6 +80,9 @@ type Catalog struct {
 	lastGoodServes uint64
 	acquires       uint64
 	indexHits      uint64
+	appends        uint64
+	merges         uint64
+	mergeFailures  uint64
 
 	// buildObserver, when set, receives every index build's duration and
 	// whether it succeeded — the observability seam for build histograms.
@@ -99,6 +106,14 @@ type CatalogStats struct {
 	// rather than starting a build — the index-cache hit ratio's numerator.
 	Acquires  uint64 `json:"acquires"`
 	IndexHits uint64 `json:"index_hits"`
+	// DeltaElements is the current total of elements buffered in append
+	// deltas across all datasets; Appends counts Append calls, Merges
+	// completed delta compactions, MergeFailures compactions whose combined
+	// build failed (the delta is retained — last-good semantics).
+	DeltaElements int    `json:"delta_elements"`
+	Appends       uint64 `json:"appends"`
+	Merges        uint64 `json:"merges"`
+	MergeFailures uint64 `json:"merge_failures"`
 }
 
 // DatasetInfo describes one cataloged dataset for /stats, including the
@@ -115,6 +130,12 @@ type DatasetInfo struct {
 	// signals (see planner.DatasetStats).
 	SkewCV          float64 `json:"skew_cv"`
 	ClusterFraction float64 `json:"cluster_fraction"`
+	// DeltaElements is the number of appended elements buffered in the
+	// current generation's delta (awaiting merge); DeltaEpoch counts the
+	// appends this generation has absorbed — the cache-key component that
+	// invalidates join results the moment new elements land.
+	DeltaElements int    `json:"delta_elements,omitempty"`
+	DeltaEpoch    uint64 `json:"delta_epoch,omitempty"`
 }
 
 // generation is one uploaded version of a dataset: its elements, planner
@@ -131,6 +152,19 @@ type generation struct {
 	// only generations that proved buildable are worth keeping as
 	// last-good fallbacks.
 	healthy bool
+	// delta is the append buffer: elements landed after this generation's
+	// elems were registered, visible to joins through delta composition and
+	// compacted into a successor generation by MergeDelta. Whole batches
+	// are appended under the catalog lock, so any (len, epoch) snapshot
+	// taken under the lock is a consistent all-or-nothing prefix — append
+	// never rewrites delta[0:len), only extends (or, on growth, copies to a
+	// fresh array), so a snapshotted header stays immutable.
+	delta []transformers.Element
+	// deltaEpoch counts the appends absorbed since this generation (or the
+	// lineage it was merged from) was registered; a merge carries it into
+	// the successor. Join cache keys include it, so an append invalidates
+	// cached results immediately without a version bump.
+	deltaEpoch uint64
 }
 
 type dataset struct {
@@ -143,6 +177,12 @@ type dataset struct {
 	// succeeds or a new version is uploaded). While set, acquisitions fall
 	// back to last and health reports the dataset degraded.
 	failing error
+	// merging marks an in-flight delta merge (single-flight per dataset);
+	// mergeErr is the last merge failure, cleared when a merge succeeds or
+	// the dataset is replaced. While set, health reports the dataset
+	// degraded — the delta keeps serving, but it is not compacting.
+	merging  bool
+	mergeErr error
 }
 
 // idxEntry is one built (or building) index variant. ready is closed when
@@ -225,13 +265,64 @@ func (c *Catalog) Put(name string, elems []transformers.Element) uint64 {
 		indexes: make(map[float64]*idxEntry),
 	}
 	ds.failing = nil
+	ds.mergeErr = nil
 	return version
+}
+
+// AppendInfo reports one append (or the append state after a merge trigger).
+type AppendInfo struct {
+	Name string `json:"name"`
+	// Appended is the element count this call added; DeltaElements the
+	// delta buffer's total afterwards.
+	Appended      int `json:"appended"`
+	DeltaElements int `json:"delta_elements"`
+	// Version is the (unchanged) dataset version the delta rides on — only
+	// a merge bumps it; DeltaEpoch is the post-append epoch, the cache-key
+	// component that makes the append visible immediately.
+	Version    uint64 `json:"version"`
+	DeltaEpoch uint64 `json:"delta_epoch"`
+	// MergeTriggered is set by the service layer when this append pushed
+	// the delta past the merge threshold and a background merge started.
+	MergeTriggered bool `json:"merge_triggered,omitempty"`
+}
+
+// Append lands elements in the dataset's delta buffer: they become visible
+// to joins immediately (delta composition) without rebuilding the main
+// index, and the delta epoch bump invalidates cached join results. The
+// batch is all-or-nothing — concurrent snapshots see none or all of it,
+// never a torn prefix. The element slice is copied; the caller keeps
+// ownership of its own.
+func (c *Catalog) Append(name string, elems []transformers.Element) (AppendInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		return AppendInfo{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	gen := ds.cur
+	if len(elems) > 0 {
+		gen.delta = append(gen.delta, elems...)
+		gen.deltaEpoch++
+		c.appends++
+	}
+	return AppendInfo{
+		Name:          name,
+		Appended:      len(elems),
+		DeltaElements: len(gen.delta),
+		Version:       gen.version,
+		DeltaEpoch:    gen.deltaEpoch,
+	}, nil
 }
 
 // Handle pins one built index until Release is called.
 type Handle struct {
-	cat     *Catalog
-	entry   *idxEntry
+	cat   *Catalog
+	entry *idxEntry
+	// gen is the generation the handle serves — DeltaView reads its base
+	// elements and delta buffer, so a join composes against exactly the
+	// generation whose index it pinned even if a merge or replacement
+	// installs a successor mid-join.
+	gen     *generation
 	Index   *transformers.Index
 	Name    string
 	Version uint64
@@ -306,7 +397,7 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 			}
 			return nil, err
 		}
-		return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: version}, nil
+		return &Handle{cat: c, entry: e, gen: gen, Index: e.idx, Name: name, Version: version}, nil
 	}
 
 	// First acquirer builds; later ones take the branch above and wait.
@@ -363,7 +454,7 @@ func (c *Catalog) Acquire(ctx context.Context, name string, expand float64) (*Ha
 		}
 		return nil, buildErr
 	}
-	return &Handle{cat: c, entry: e, Index: idx, Name: name, Version: version, Retries: retries}, nil
+	return &Handle{cat: c, entry: e, gen: gen, Index: idx, Name: name, Version: version, Retries: retries}, nil
 }
 
 // lastGood returns a pinned stale handle on dataset name's last-good
@@ -385,7 +476,7 @@ func (c *Catalog) lastGood(name string, failedGen *generation, expand float64) *
 	c.clock++
 	e.lastUse = c.clock
 	c.lastGoodServes++
-	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: ds.last.version, Stale: true}
+	return &Handle{cat: c, entry: e, gen: ds.last, Index: e.idx, Name: name, Version: ds.last.version, Stale: true}
 }
 
 // TryAcquire returns a pinned handle only when the variant is already built
@@ -418,7 +509,7 @@ func (c *Catalog) TryAcquire(name string, expand float64) (*Handle, bool, error)
 	if stale {
 		c.lastGoodServes++
 	}
-	return &Handle{cat: c, entry: e, Index: e.idx, Name: name, Version: gen.version, Stale: stale}, true, nil
+	return &Handle{cat: c, entry: e, gen: gen, Index: e.idx, Name: name, Version: gen.version, Stale: stale}, true, nil
 }
 
 // finishBuild publishes a build outcome and wakes the waiters. Failed builds
@@ -456,6 +547,10 @@ func (c *Catalog) Degraded() []string {
 	defer c.mu.Unlock()
 	var out []string
 	for name, ds := range c.datasets {
+		if ds.mergeErr != nil {
+			out = append(out, fmt.Sprintf("dataset %q: delta merge failing, %d delta elements retained: %v",
+				name, len(ds.cur.delta), ds.mergeErr))
+		}
 		if ds.failing == nil {
 			continue
 		}
@@ -571,10 +666,182 @@ func (c *Catalog) Version(name string) (uint64, error) {
 	return ds.cur.version, nil
 }
 
+// VersionEpoch returns the current version, delta epoch and delta size of a
+// dataset in one consistent snapshot — the cache fast path keys lookups on
+// (version, epoch), and the planner folds the delta cardinality into its
+// pricing.
+func (c *Catalog) VersionEpoch(name string) (version, epoch uint64, deltaLen int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.datasets[name]
+	if ds == nil {
+		return 0, 0, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds.cur.version, ds.cur.deltaEpoch, len(ds.cur.delta), nil
+}
+
+// Snapshot returns a private combined copy of a dataset's base elements plus
+// its delta buffer, with the version, delta epoch and delta size the copy
+// corresponds to — one atomic consistent view. Engines that build their own
+// per-request index run on the combined slice directly, which makes their
+// results identical to a full rebuild by construction.
+func (c *Catalog) Snapshot(name string) (elems []transformers.Element, version, epoch uint64, deltaLen int, err error) {
+	c.mu.Lock()
+	ds := c.datasets[name]
+	if ds == nil {
+		c.mu.Unlock()
+		return nil, 0, 0, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	gen := ds.cur
+	base := gen.elems
+	// Full-slice-expression header: appends past len land at indexes this
+	// snapshot never reads (or on a fresh array), so the copy below is safe
+	// outside the lock.
+	delta := gen.delta[:len(gen.delta):len(gen.delta)]
+	version, epoch = gen.version, gen.deltaEpoch
+	c.mu.Unlock()
+	out := make([]transformers.Element, 0, len(base)+len(delta))
+	out = append(out, base...)
+	out = append(out, delta...)
+	return out, version, epoch, len(delta), nil
+}
+
+// DeltaView returns the pinned generation's raw base elements, a private
+// copy of its delta buffer, and the delta epoch the copy corresponds to. The
+// base slice is the catalog's own storage: callers must treat it as
+// read-only and pass it only to engines that do not reorder their inputs
+// (the inmem delta sub-joins qualify; the distance path copies before
+// expanding either way). Reading through the handle's pinned generation —
+// not the dataset's current one — keeps the composition consistent with the
+// index the join actually runs on, even if a merge installs a successor
+// generation mid-join.
+func (c *Catalog) DeltaView(h *Handle) (base, delta []transformers.Element, epoch uint64) {
+	if h == nil || h.gen == nil {
+		return nil, nil, 0
+	}
+	c.mu.Lock()
+	gen := h.gen
+	head := gen.delta[:len(gen.delta):len(gen.delta)]
+	epoch = gen.deltaEpoch
+	c.mu.Unlock()
+	if len(head) > 0 {
+		delta = append([]transformers.Element(nil), head...)
+	}
+	return gen.elems, delta, epoch
+}
+
+// MergeDelta compacts a dataset's delta buffer into its main index: the
+// base and delta elements are combined, indexed (with the same retry policy,
+// store factory and build observer regular builds use) and installed as a
+// new generation whose version is bumped — the LSM-style background merge.
+// Merges are single-flight per dataset (ErrMergeInFlight otherwise).
+// Elements appended while the merge runs carry over into the new
+// generation's delta, and the delta epoch carries with them. On build
+// failure the delta is retained untouched — joins keep composing against it
+// (last-good semantics) and health reports the dataset degraded until a
+// merge succeeds. Returns the number of delta elements compacted (0 when
+// the delta was empty or the dataset was replaced mid-merge).
+func (c *Catalog) MergeDelta(ctx context.Context, name string) (int, error) {
+	c.mu.Lock()
+	ds := c.datasets[name]
+	if ds == nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if ds.merging {
+		c.mu.Unlock()
+		return 0, ErrMergeInFlight
+	}
+	gen := ds.cur
+	n := len(gen.delta)
+	if n == 0 {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	ds.merging = true
+	merged := make([]transformers.Element, 0, len(gen.elems)+n)
+	merged = append(merged, gen.elems...)
+	merged = append(merged, gen.delta[:n]...)
+	pageSize := c.pageSize
+	policy := c.retry
+	factory := c.storeFactory
+	observer := c.buildObserver
+	c.mu.Unlock()
+
+	// The O(n) statistics pass and the index build both run outside the
+	// lock; Analyze runs first because BuildIndex reorders merged in place
+	// (content-stable, so storing the reordered slice as the new
+	// generation's elems is fine — every reader copies before building).
+	stats := planner.Analyze(merged)
+	var idx *transformers.Index
+	_, mergeSpan := obs.Start(ctx, "delta-merge")
+	buildStart := time.Now()
+	buildErr, retries := retryTransient(ctx, policy, storage.IsTransient, func() error {
+		var st storage.Store
+		if factory != nil {
+			st = factory(pageSize)
+		}
+		var err error
+		idx, err = transformers.BuildIndex(merged, transformers.IndexOptions{PageSize: pageSize, Store: st})
+		return err
+	})
+	mergeSpan.End()
+	mergeSpan.Add("elements", int64(n))
+	mergeSpan.Add("retries", int64(retries))
+	if observer != nil {
+		observer(time.Since(buildStart), buildErr == nil)
+	}
+	if buildErr != nil {
+		buildErr = &BuildError{Attempts: retries + 1, Err: buildErr}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds.merging = false
+	c.retries += uint64(retries)
+	c.builds++
+	if ds.cur != gen {
+		// A Put replaced the dataset mid-merge: the merged snapshot
+		// describes a lineage that no longer exists. Discard it quietly —
+		// the replacement carries its own elements.
+		return 0, nil
+	}
+	if buildErr != nil {
+		c.mergeFailures++
+		ds.mergeErr = buildErr
+		return 0, buildErr
+	}
+	e := &idxEntry{expand: 0, ready: make(chan struct{}), idx: idx}
+	close(e.ready)
+	c.clock++
+	e.lastUse = c.clock
+	ds.cur = &generation{
+		elems:   merged,
+		version: gen.version + 1,
+		stats:   stats,
+		indexes: map[float64]*idxEntry{0: e},
+		healthy: true,
+		// Appends that landed during the merge carry over; the epoch
+		// travels with them so cache keys stay content-faithful.
+		delta:      append([]transformers.Element(nil), gen.delta[n:]...),
+		deltaEpoch: gen.deltaEpoch,
+	}
+	ds.failing = nil
+	ds.mergeErr = nil
+	ds.last = nil
+	c.merges++
+	c.evictLocked()
+	return n, nil
+}
+
 // Stats returns a snapshot of catalog counters.
 func (c *Catalog) Stats() CatalogStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	deltaElems := 0
+	for _, ds := range c.datasets {
+		deltaElems += len(ds.cur.delta)
+	}
 	return CatalogStats{
 		Datasets:       len(c.datasets),
 		Indexes:        c.countReadyLocked(),
@@ -584,6 +851,10 @@ func (c *Catalog) Stats() CatalogStats {
 		LastGoodServes: c.lastGoodServes,
 		Acquires:       c.acquires,
 		IndexHits:      c.indexHits,
+		DeltaElements:  deltaElems,
+		Appends:        c.appends,
+		Merges:         c.merges,
+		MergeFailures:  c.mergeFailures,
 	}
 }
 
@@ -598,9 +869,11 @@ func (c *Catalog) Datasets() []DatasetInfo {
 			Elements:        len(ds.cur.elems),
 			Version:         ds.cur.version,
 			Indexes:         len(ds.cur.indexes),
-			Degraded:        ds.failing != nil,
+			Degraded:        ds.failing != nil || ds.mergeErr != nil,
 			SkewCV:          ds.cur.stats.SkewCV,
 			ClusterFraction: ds.cur.stats.ClusterFraction,
+			DeltaElements:   len(ds.cur.delta),
+			DeltaEpoch:      ds.cur.deltaEpoch,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -71,6 +72,15 @@ type datasetRequest struct {
 	Generate *generateSpec `json:"generate,omitempty"`
 	// TimeoutMS bounds this registration (build included); the server
 	// default applies when zero.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// appendRequest lands elements in a dataset's delta buffer (POST
+// /datasets/{name}/append): visible to joins immediately, merged into the
+// main index in the background.
+type appendRequest struct {
+	Elements []elementDTO `json:"elements"`
+	// TimeoutMS bounds the request; the server default applies when zero.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
@@ -214,6 +224,7 @@ func requestContext(svc *Service, r *http.Request, timeoutMS int64) (context.Con
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", func(w http.ResponseWriter, r *http.Request) { handleDatasets(svc, w, r) })
+	mux.HandleFunc("POST /datasets/{name}/append", func(w http.ResponseWriter, r *http.Request) { handleAppend(svc, w, r) })
 	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) { handleJoin(svc, w, r, false) })
 	mux.HandleFunc("POST /join/distance", func(w http.ResponseWriter, r *http.Request) { handleJoin(svc, w, r, true) })
 	mux.HandleFunc("POST /query/range", func(w http.ResponseWriter, r *http.Request) { handleRange(svc, w, r) })
@@ -407,6 +418,37 @@ func handleDatasets(svc *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+func handleAppend(svc *Service, w http.ResponseWriter, r *http.Request) {
+	rid := requestIDFrom(r)
+	w.Header().Set("X-Request-ID", rid)
+	name := r.PathValue("name")
+	var req appendRequest
+	if !decodeBody(w, r, rid, &req, svc.cfg.MaxBodyBytes) {
+		return
+	}
+	if len(req.Elements) == 0 {
+		badRequest(w, rid, "append: elements are required")
+		return
+	}
+	elems := make([]transformers.Element, len(req.Elements))
+	for i, e := range req.Elements {
+		b := e.Box.box()
+		if !b.Valid() {
+			badRequest(w, rid, fmt.Sprintf("element %d: invalid box (lo > hi)", i))
+			return
+		}
+		elems[i] = transformers.Element{ID: e.ID, Box: b}
+	}
+	ctx, cancel := requestContext(svc, r, req.TimeoutMS)
+	defer cancel()
+	info, err := svc.Append(ctx, name, elems)
+	if err != nil {
+		writeError(w, err, rid, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 // predicateOf names the join predicate for traces and planner samples.
 func predicateOf(distance bool) string {
 	if distance {
@@ -438,8 +480,10 @@ func handleJoin(svc *Service, w http.ResponseWriter, r *http.Request, distance b
 	}
 	params := JoinParams{Parallelism: req.Parallelism, NoCache: req.NoCache, Algorithm: req.Algorithm, ShardTiles: req.ShardTiles}
 	if distance {
-		if req.Distance <= 0 {
-			badRequest(w, rid, "distance must be positive")
+		// NaN fails every comparison, so `<= 0` alone would wave it (and the
+		// infinities) through to fail deep in planning as a generic 500.
+		if req.Distance <= 0 || math.IsNaN(req.Distance) || math.IsInf(req.Distance, 0) {
+			badRequest(w, rid, "distance must be a positive finite number")
 			return
 		}
 		params.Distance = req.Distance

@@ -111,6 +111,10 @@ func newServiceObs(s *Service, cfg Config) *serviceObs {
 		func() float64 { return float64(s.abortedStreams.Load()) })
 	r.GaugeFunc("spatialjoin_slow_joins_total", "Joins recorded in the /debug/joins ring.",
 		func() float64 { return float64(o.ring.Total()) })
+	r.GaugeFunc("spatialjoin_delta_elements", "Elements buffered in dataset delta buffers awaiting merge.",
+		func() float64 { return float64(s.cat.Stats().DeltaElements) })
+	r.GaugeFunc("spatialjoin_delta_merges_total", "Completed background delta merges.",
+		func() float64 { return float64(s.cat.Stats().Merges) })
 	r.GaugeFunc("spatialjoin_planner_correction_pairs", "Tracked (dataset pair, engine) drift-correction series.",
 		func() float64 { return float64(s.corrector.Len()) })
 	r.GaugeFunc("spatialjoin_planner_calibrated", "1 when a fitted planner calibration is loaded, 0 otherwise.",

@@ -140,8 +140,23 @@ func TestServiceCorrectorLearnsFromJoins(t *testing.T) {
 	if got == nil {
 		t.Fatalf("no correction series for (a, b, %s): %+v", algo, corr)
 	}
-	if got.Samples != 3 {
-		t.Fatalf("correction series has %d samples, want 3", got.Samples)
+	// Every executed join trains exactly one series; the learned bias may
+	// flip the auto choice between iterations (that is the corrector doing
+	// its job), so the training-count invariant is the TOTAL over the
+	// pair's series, not one engine holding all three.
+	pairSamples := func(corr []planner.Correction) (total int64) {
+		for i := range corr {
+			if corr[i].A == "a" && corr[i].B == "b" {
+				total += corr[i].Samples
+			}
+		}
+		return total
+	}
+	if total := pairSamples(corr); total != 3 {
+		t.Fatalf("pair's correction series hold %d samples, want 3: %+v", total, corr)
+	}
+	if got.Samples == 0 {
+		t.Fatalf("last executed engine %s recorded no sample: %+v", algo, corr)
 	}
 	if got.Factor <= 0 {
 		t.Fatalf("correction factor %v, want > 0", got.Factor)
@@ -158,28 +173,26 @@ func TestServiceCorrectorLearnsFromJoins(t *testing.T) {
 	}
 
 	// Cache hits replay old measurements and must not train the corrector.
-	if _, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto}); err != nil {
+	// The replay pins the filler's resolved engine: the key carries the
+	// executed algorithm, so a second auto request only hits if the (still
+	// learning) corrector resolves the same way twice — pinning makes the
+	// hit about the cache, not about plan stability.
+	filler, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto})
+	if err != nil {
 		t.Fatal(err)
 	}
-	hit, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: AlgorithmAuto})
+	hit, err := svc.Join(ctx, "a", "b", JoinParams{Algorithm: filler.Summary.Algorithm})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !hit.Cached {
 		t.Fatal("second cached join was not served from cache")
 	}
-	after := svc.PlannerCorrections()
-	for i := range after {
-		if after[i].A == "a" && after[i].B == "b" && after[i].Engine == algo {
-			// 3 NoCache joins + 1 cache filler = 4 training samples; the
-			// cache hit must not be a 5th.
-			if after[i].Samples != 4 {
-				t.Fatalf("correction series has %d samples after a cache hit, want 4", after[i].Samples)
-			}
-			return
-		}
+	// 3 NoCache joins + 1 cache filler = 4 training samples across the
+	// pair's series; the cache hit must not be a 5th.
+	if total := pairSamples(svc.PlannerCorrections()); total != 4 {
+		t.Fatalf("pair's correction series hold %d samples after a cache hit, want 4", total)
 	}
-	t.Fatalf("correction series vanished: %+v", after)
 }
 
 // TestServiceAppliesCalibration: a loaded calibration must change the auto

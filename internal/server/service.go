@@ -97,6 +97,11 @@ type Config struct {
 	// -planner-calibration file, produced by cmd/plannerfit from a
 	// -planner-log recording).
 	PlannerCalibration *planner.Calibration
+	// DeltaMaxElements is the append-delta size at which a background merge
+	// compacts a dataset's delta buffer into its main index
+	// (DefaultDeltaMaxElements when zero, negative disables automatic
+	// merges — deltas then grow until merged explicitly).
+	DeltaMaxElements int
 }
 
 // Resource-bound defaults.
@@ -114,6 +119,11 @@ const (
 	DefaultCostUnitMS = 500.0
 	// DefaultShedWindow is how long a shed event keeps /healthz degraded.
 	DefaultShedWindow = 10 * time.Second
+	// DefaultDeltaMaxElements is the append-delta size that triggers a
+	// background merge. Sized so delta sub-joins stay cheap (the inmem
+	// engine handles tens of thousands of elements in milliseconds) while
+	// appends amortize rebuilds well past one-element granularity.
+	DefaultDeltaMaxElements = 8192
 )
 
 // Service is the spatial query service: dataset catalog, join cache, and the
@@ -128,6 +138,18 @@ type Service struct {
 	joins        atomic.Uint64
 	autoJoins    atomic.Uint64
 	rangeQueries atomic.Uint64
+
+	// Ingest activity: append requests, elements they landed, and joins
+	// that composed a non-empty delta.
+	appends          atomic.Uint64
+	appendedElements atomic.Uint64
+	deltaJoins       atomic.Uint64
+
+	// mergeMu guards merging, the per-dataset background-merge in-flight
+	// set; mergeWG lets Quiesce wait for merges the service started.
+	mergeMu sync.Mutex
+	merging map[string]bool
+	mergeWG sync.WaitGroup
 
 	// Streaming activity: pairs emitted to streaming consumers (cache
 	// replays included) and streams aborted before completion (consumer
@@ -190,6 +212,9 @@ func NewService(cfg Config) *Service {
 	if cfg.ShedWindow <= 0 {
 		cfg.ShedWindow = DefaultShedWindow
 	}
+	if cfg.DeltaMaxElements == 0 {
+		cfg.DeltaMaxElements = DefaultDeltaMaxElements
+	}
 	cat := NewCatalog(cfg.MaxIndexes, cfg.PageSize)
 	cat.SetRetryPolicy(cfg.Retry)
 	if cfg.StoreFactory != nil {
@@ -208,6 +233,7 @@ func NewService(cfg Config) *Service {
 		start:       time.Now(),
 		engineJoins: make(map[string]uint64),
 		tenants:     make(map[string]*tenantCounters),
+		merging:     make(map[string]bool),
 		corrector:   planner.NewCorrector(),
 	}
 	s.obs = newServiceObs(s, cfg)
@@ -333,6 +359,66 @@ func (s *Service) AddDataset(ctx context.Context, name string, elems []transform
 	return info, nil
 }
 
+// Append lands elems in name's delta buffer: they become visible to joins
+// immediately (the next join composes them through delta sub-joins) without
+// an index rebuild or a version bump. When the delta reaches the configured
+// merge threshold, a background merge is triggered — single-flight per
+// dataset — and the returned info notes it. Appends are cheap (a slice
+// append under the catalog lock) and bypass pool admission; only the merge
+// they may trigger pays for a build, at Batch priority.
+func (s *Service) Append(ctx context.Context, name string, elems []transformers.Element) (AppendInfo, error) {
+	info, err := s.cat.Append(name, elems)
+	if err != nil {
+		return AppendInfo{}, err
+	}
+	s.appends.Add(1)
+	s.appendedElements.Add(uint64(len(elems)))
+	if max := s.cfg.DeltaMaxElements; max > 0 && info.DeltaElements >= max {
+		if s.triggerMerge(name) {
+			info.MergeTriggered = true
+		}
+	}
+	return info, nil
+}
+
+// triggerMerge starts a background merge of name's delta unless this service
+// already has one in flight, and reports whether this call started one. The
+// in-flight set is per-service on top of the catalog's own single-flight
+// guard so a burst of over-threshold appends does not queue a goroutine per
+// append.
+func (s *Service) triggerMerge(name string) bool {
+	s.mergeMu.Lock()
+	if s.merging[name] {
+		s.mergeMu.Unlock()
+		return false
+	}
+	s.merging[name] = true
+	s.mergeWG.Add(1)
+	s.mergeMu.Unlock()
+	go func() {
+		defer s.mergeWG.Done()
+		defer func() {
+			s.mergeMu.Lock()
+			delete(s.merging, name)
+			s.mergeMu.Unlock()
+		}()
+		// Merges are background system work: Batch priority, so interactive
+		// joins preempt compaction, and a fresh context — the append that
+		// crossed the threshold must not abort the merge by disconnecting.
+		// A failed merge (ErrBusy included) retains the delta; the next
+		// over-threshold append re-triggers.
+		_ = s.pool.Do(context.Background(), Request{Tenant: "system", Priority: Batch, Cost: 1}, func() error {
+			_, err := s.cat.MergeDelta(context.Background(), name)
+			return err
+		})
+	}()
+	return true
+}
+
+// Quiesce blocks until the background merges this service has started have
+// finished (tests and orderly shutdown).
+func (s *Service) Quiesce() { s.mergeWG.Wait() }
+
 // JoinParams selects a join execution.
 type JoinParams struct {
 	// Distance > 0 runs the distance join of §VIII: pairs whose boxes come
@@ -364,9 +450,11 @@ type JoinOutcome struct {
 // joinKey assembles the cache key for one join execution. ShardTiles is part
 // of the key: the pair set is invariant in it (a tested property), but the
 // cached cost summary describes one concrete fan-out, and serving a K=4
-// execution record for a K=16 request would misreport what ran.
-func joinKey(a, b string, va, vb uint64, distance float64, algorithm string, shardTiles int) JoinKey {
-	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, Predicate: "intersects", Distance: distance, Algorithm: algorithm, ShardTiles: shardTiles}
+// execution record for a K=16 request would misreport what ran. The delta
+// epochs pin the append-buffer state the result composed, so an append is an
+// immediate cache miss without a version bump.
+func joinKey(a, b string, va, vb, ea, eb uint64, distance float64, algorithm string, shardTiles int) JoinKey {
+	key := JoinKey{A: a, B: b, VersionA: va, VersionB: vb, DeltaEpochA: ea, DeltaEpochB: eb, Predicate: "intersects", Distance: distance, Algorithm: algorithm, ShardTiles: shardTiles}
 	if distance > 0 {
 		key.Predicate = "distance"
 	}
@@ -386,7 +474,23 @@ func (s *Service) plannedStats(a, b string, distance float64) (planner.DatasetSt
 	if err != nil {
 		return planner.DatasetStats{}, planner.DatasetStats{}, err
 	}
+	if _, _, dl, err := s.cat.VersionEpoch(a); err == nil {
+		sa = deltaAdjusted(sa, dl)
+	}
+	if _, _, dl, err := s.cat.VersionEpoch(b); err == nil {
+		sb = deltaAdjusted(sb, dl)
+	}
 	return planner.ExpandStats(sa, distance), planner.ExpandStats(sb, distance), nil
+}
+
+// deltaAdjusted folds a dataset's append-delta cardinality into its cached
+// planner statistics. Only Count grows: the distribution signals (skew,
+// clustering, density) are assumed delta-alike — the delta is bounded by the
+// merge threshold, so even an adversarial delta cannot skew them for long —
+// and recomputing them per request would put an O(delta) scan on every plan.
+func deltaAdjusted(st planner.DatasetStats, delta int) planner.DatasetStats {
+	st.Count += delta
+	return st
 }
 
 // plannerConfig assembles one join's planner configuration: the serving
@@ -460,11 +564,16 @@ type joinPlan struct {
 	algo        string
 	plan        *PlannerInfo
 	parallelism int
-	// keyTiles is the tile pin as cached; execTiles the fan-out actually
-	// executed (planner- or statistics-derived when unpinned).
+	// keyTiles is the fan-out as cached, execTiles the fan-out actually
+	// executed (planner- or statistics-derived when unpinned). They are
+	// equal for sharded engines — the key carries the executed fan-out, not
+	// the request's pin — and both zero otherwise.
 	keyTiles  int
 	execTiles int
 	va, vb    uint64
+	// ea and eb are the inputs' delta epochs at planning time, the cache
+	// fast path's key components alongside the versions.
+	ea, eb uint64
 	// cost is the admission price in pool slot units, derived from the
 	// planner's predicted cost of the resolved engine.
 	cost int
@@ -521,7 +630,6 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 	// from the catalog's cached per-version statistics (explicit), so the
 	// engine never repeats the O(n) statistics pass on the serving path.
 	if strings.HasPrefix(jp.algo, engine.ShardPrefix) {
-		jp.keyTiles = pin
 		jp.execTiles = pin
 		if jp.execTiles == 0 {
 			if jp.plan != nil {
@@ -530,17 +638,23 @@ func (s *Service) planJoin(a, b string, p JoinParams) (joinPlan, error) {
 				jp.execTiles = planner.ShardTiles(sa, sb)
 			}
 		}
+		// Key on the fan-out that executes, not the request's pin: an auto
+		// request resolving to K and an explicit request pinning the same K
+		// run identically and must share one cache entry — the sharing
+		// cache.go documents.
+		jp.keyTiles = jp.execTiles
 	}
 
-	// Current dataset versions for the cache fast path, before any index is
-	// acquired: a hit must not pay an index (re)build of an evicted variant.
-	// Version is a cheap catalog lookup; a replacement racing between this
-	// check and the later acquisition only turns a hit into a safe miss
-	// (the stored key uses the acquired handles' versions).
-	if jp.va, err = s.cat.Version(a); err != nil {
+	// Current dataset versions and delta epochs for the cache fast path,
+	// before any index is acquired: a hit must not pay an index (re)build of
+	// an evicted variant. VersionEpoch is a cheap catalog lookup; a
+	// replacement, append or merge racing between this check and the later
+	// acquisition only turns a hit into a safe miss (the stored key uses the
+	// state actually served).
+	if jp.va, jp.ea, _, err = s.cat.VersionEpoch(a); err != nil {
 		return joinPlan{}, err
 	}
-	if jp.vb, err = s.cat.Version(b); err != nil {
+	if jp.vb, jp.eb, _, err = s.cat.VersionEpoch(b); err != nil {
 		return joinPlan{}, err
 	}
 	s.priceJoin(a, b, p.Distance, &jp)
@@ -644,15 +758,21 @@ func (s *Service) admitted(ctx context.Context, cost int, fn func(ctx context.Co
 // of both sides, §VIII) and the per-request builds of non-catalog engines.
 // Waiting on another request's in-flight build consumes this slot but never
 // needs a second one, so slots cannot deadlock.
-func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, bool, *obs.Span, error) {
+func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp joinPlan, exec execFunc) (*engine.Result, JoinKey, bool, *DeltaSummary, *obs.Span, error) {
 	var res *engine.Result
 	var key JoinKey
 	var stale bool
+	var delta *DeltaSummary
 	var exSpan *obs.Span
 	var err error
 	if jp.algo == engine.Transformers {
 		// Catalog path: reuse the prebuilt (and, for distance joins,
-		// pre-expanded) indexes through the registry's prebuilt option.
+		// pre-expanded) indexes through the registry's prebuilt option. A
+		// non-empty delta buffer composes on top: the prebuilt indexes cover
+		// base×base, and the delta sub-joins run inmem afterwards against
+		// the same pinned generation — the handles fix which (base, delta)
+		// snapshot this join describes even if a merge installs a successor
+		// generation mid-join.
 		exSpan, err = s.admitted(ctx, jp.cost, func(ctx context.Context) error {
 			cctx, cat := obs.Start(ctx, "catalog")
 			ha, err := s.cat.Acquire(cctx, a, p.Distance)
@@ -669,41 +789,115 @@ func (s *Service) executeJoin(ctx context.Context, a, b string, p JoinParams, jp
 			defer hb.Release()
 			stale = ha.Stale || hb.Stale
 			s.noteOutcome(ctx, nil, ha.Retries+hb.Retries, stale)
-			key = joinKey(a, b, ha.Version, hb.Version, p.Distance, jp.algo, jp.keyTiles)
+			baseA, deltaA, epochA := s.cat.DeltaView(ha)
+			baseB, deltaB, epochB := s.cat.DeltaView(hb)
+			key = joinKey(a, b, ha.Version, hb.Version, epochA, epochB, p.Distance, jp.algo, jp.keyTiles)
 			res, err = exec(ctx, jp.algo, nil, nil, engine.Options{
 				Parallelism: jp.parallelism,
 				Concurrent:  true,
 				PageSize:    s.cfg.PageSize,
 				Prebuilt:    &engine.Prebuilt{A: ha.Index.Core(), B: hb.Index.Core()},
 			})
+			if err == nil && len(deltaA)+len(deltaB) > 0 {
+				delta, err = s.deltaJoin(ctx, res, baseA, baseB, deltaA, deltaB, p, jp, exec)
+			}
 			return err
 		})
 	} else {
 		// Registry path: the engine indexes private element copies per
-		// request (distance expansion included), inside the same slot.
+		// request (distance expansion included), inside the same slot. The
+		// snapshot folds any delta into the copy, so per-request indexing
+		// engines see exactly what a full rebuild would — no composition.
 		exSpan, err = s.admitted(ctx, jp.cost, func(ctx context.Context) error {
-			ea, verA, err := s.cat.Elements(a)
+			ea, verA, epochA, dlA, err := s.cat.Snapshot(a)
 			if err != nil {
 				return err
 			}
-			eb, verB, err := s.cat.Elements(b)
+			eb, verB, epochB, dlB, err := s.cat.Snapshot(b)
 			if err != nil {
 				return err
 			}
-			key = joinKey(a, b, verA, verB, p.Distance, jp.algo, jp.keyTiles)
+			key = joinKey(a, b, verA, verB, epochA, epochB, p.Distance, jp.algo, jp.keyTiles)
 			res, err = exec(ctx, jp.algo, ea, eb, engine.Options{
 				Distance:    p.Distance,
 				Parallelism: jp.parallelism,
 				PageSize:    s.cfg.PageSize,
 				ShardTiles:  jp.execTiles,
 			})
+			if err == nil && dlA+dlB > 0 {
+				delta = &DeltaSummary{ElementsA: dlA, ElementsB: dlB}
+				s.deltaJoins.Add(1)
+			}
 			return err
 		})
 	}
 	if err != nil {
 		s.noteOutcome(ctx, err, 0, false)
 	}
-	return res, key, stale, exSpan, err
+	return res, key, stale, delta, exSpan, err
+}
+
+// deltaJoin composes the append-delta sub-joins of one prebuilt-path join:
+// base×delta, delta×base and delta×delta run through the inmem engine on the
+// pinned generation's snapshot, through the same exec seam as the base join —
+// so the streaming path's tee and emit apply to delta pairs exactly as to
+// base pairs. The three sub-joins partition the non-base×base pairs of
+// (baseA ∪ deltaA)×(baseB ∪ deltaB), so the composed result is multiset-equal
+// to a full rebuild by construction; empty sides are skipped. Distance joins
+// pass Options.Distance so the inmem engine expands the delta inputs exactly
+// as the catalog pre-expanded the base indexes.
+func (s *Service) deltaJoin(ctx context.Context, res *engine.Result, baseA, baseB, deltaA, deltaB []transformers.Element, p JoinParams, jp joinPlan, exec execFunc) (*DeltaSummary, error) {
+	dctx, span := obs.Start(ctx, "delta-join")
+	sum := &DeltaSummary{ElementsA: len(deltaA), ElementsB: len(deltaB)}
+	opt := engine.Options{
+		Distance:    p.Distance,
+		Parallelism: jp.parallelism,
+		PageSize:    s.cfg.PageSize,
+	}
+	var pairs uint64
+	for _, sj := range [3]struct{ ea, eb []transformers.Element }{
+		{baseA, deltaB},
+		{deltaA, baseB},
+		{deltaA, deltaB},
+	} {
+		if len(sj.ea) == 0 || len(sj.eb) == 0 {
+			continue
+		}
+		sub, err := exec(dctx, engine.InMem, sj.ea, sj.eb, opt)
+		if err != nil {
+			span.End()
+			return nil, err
+		}
+		res.Pairs = append(res.Pairs, sub.Pairs...)
+		mergeDeltaStats(&res.Stats, sub.Stats)
+		pairs += sub.Stats.Refinements
+		sum.SubJoins++
+	}
+	span.End()
+	span.Add("delta_a", int64(len(deltaA)))
+	span.Add("delta_b", int64(len(deltaB)))
+	span.Add("sub_joins", int64(sum.SubJoins))
+	span.Add("pairs", int64(pairs))
+	sum.Pairs = pairs
+	s.deltaJoins.Add(1)
+	return sum, nil
+}
+
+// mergeDeltaStats folds one delta sub-join's cost into the composed result's
+// stats, so the summary (and the planner accuracy sample derived from it)
+// prices the work that actually ran, not just the base join.
+func mergeDeltaStats(dst *engine.Stats, sub engine.Stats) {
+	dst.BuildWall += sub.BuildWall
+	dst.BuildIOTime += sub.BuildIOTime
+	dst.BuildTotal += sub.BuildTotal
+	dst.IndexedPages += sub.IndexedPages
+	dst.JoinWall += sub.JoinWall
+	dst.JoinIOTime += sub.JoinIOTime
+	dst.JoinTotal += sub.JoinTotal
+	dst.PagesRead += sub.PagesRead
+	dst.Candidates += sub.Candidates
+	dst.MetaComparisons += sub.MetaComparisons
+	dst.Refinements += sub.Refinements
 }
 
 // summarize flattens one executed result into the cacheable cost summary and
@@ -739,7 +933,7 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 	annotatePlan(planSpan, jp)
 	if !p.NoCache {
 		_, cacheSpan := obs.Start(ctx, "cache")
-		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles))
+		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, jp.ea, jp.eb, p.Distance, jp.algo, jp.keyTiles))
 		cacheSpan.End()
 		if ok {
 			cacheSpan.Add("hit", 1)
@@ -749,13 +943,16 @@ func (s *Service) Join(ctx context.Context, a, b string, p JoinParams) (*JoinOut
 			return &JoinOutcome{Pairs: res.Pairs, Summary: summary, Cached: true}, nil
 		}
 	}
-	res, key, stale, _, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	res, key, stale, deltaSum, _, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.Run(ctx, algo, ea, eb, opt)
 	})
 	if err != nil {
 		return nil, err
 	}
 	summary := s.summarize(jp.algo, res)
+	// The delta composition is part of the cached content — the key pins the
+	// epochs it composed at — unlike the planner report and staleness below.
+	summary.Delta = deltaSum
 	if !p.NoCache {
 		// Cache without the planner report or staleness: the key carries the
 		// served versions, and hits splice in their own request context.
@@ -849,7 +1046,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 	annotatePlan(planSpan, jp)
 	if !p.NoCache {
 		_, cacheSpan := obs.Start(ctx, "cache")
-		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, p.Distance, jp.algo, jp.keyTiles))
+		res, ok := s.cache.Get(joinKey(a, b, jp.va, jp.vb, jp.ea, jp.eb, p.Distance, jp.algo, jp.keyTiles))
 		cacheSpan.End()
 		if ok {
 			cacheSpan.Add("hit", 1)
@@ -886,7 +1083,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 	// two clock reads per pair, and none at all untraced.
 	traced := obs.Enabled(ctx)
 	var emitDur time.Duration
-	res, key, stale, exSpan, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
+	res, key, stale, deltaSum, exSpan, err := s.executeJoin(ctx, a, b, p, jp, func(ctx context.Context, algo string, ea, eb []transformers.Element, opt engine.Options) (*engine.Result, error) {
 		return engine.RunStream(ctx, algo, ea, eb, opt, func(pr transformers.Pair) error {
 			if caching {
 				if len(buf) < maxCache {
@@ -927,6 +1124,7 @@ func (s *Service) JoinStream(ctx context.Context, a, b string, p JoinParams, emi
 		return nil, err
 	}
 	summary := s.summarize(jp.algo, res)
+	summary.Delta = deltaSum
 	if caching {
 		s.cache.Put(key, &CachedJoin{Pairs: buf, Summary: summary})
 	}
@@ -973,6 +1171,12 @@ type Stats struct {
 	UptimeS      int64  `json:"uptime_s"`
 	Joins        uint64 `json:"joins"`
 	RangeQueries uint64 `json:"range_queries"`
+	// Appends counts append requests, AppendedElements the elements they
+	// landed; DeltaJoins counts executed joins that composed a non-empty
+	// delta (catalog stats carry the merge counters).
+	Appends          uint64 `json:"appends"`
+	AppendedElements uint64 `json:"appended_elements"`
+	DeltaJoins       uint64 `json:"delta_joins"`
 	// AutoJoins counts joins that went through the planner; EngineJoins
 	// counts executed (non-cached) joins per engine.
 	AutoJoins   uint64            `json:"auto_joins"`
@@ -1051,14 +1255,17 @@ func (s *Service) Stats() Stats {
 		tenants = nil
 	}
 	return Stats{
-		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
-		UptimeS:        int64(time.Since(s.start) / time.Second),
-		Joins:          s.joins.Load(),
-		RangeQueries:   s.rangeQueries.Load(),
-		AutoJoins:      s.autoJoins.Load(),
-		EngineJoins:    engineJoins,
-		StreamedPairs:  s.streamedPairs.Load(),
-		AbortedStreams: s.abortedStreams.Load(),
+		UptimeMS:         float64(time.Since(s.start)) / float64(time.Millisecond),
+		UptimeS:          int64(time.Since(s.start) / time.Second),
+		Joins:            s.joins.Load(),
+		RangeQueries:     s.rangeQueries.Load(),
+		Appends:          s.appends.Load(),
+		AppendedElements: s.appendedElements.Load(),
+		DeltaJoins:       s.deltaJoins.Load(),
+		AutoJoins:        s.autoJoins.Load(),
+		EngineJoins:      engineJoins,
+		StreamedPairs:    s.streamedPairs.Load(),
+		AbortedStreams:   s.abortedStreams.Load(),
 		Shard: ShardAggregate{
 			Joins:      s.shardJoins.Load(),
 			TilesRun:   s.shardTiles.Load(),
